@@ -1,0 +1,63 @@
+"""Ablation: manager-overhead model (analytic vs. measured).
+
+The virtual-time search charges the manager for surrogate updates and
+candidate generation.  The default is a calibrated analytic model (so results
+do not depend on the speed of the machine running the reproduction); a
+"measured" model that charges the actual wall-clock time of this repository's
+own NumPy models is also available.  This benchmark runs the same search under
+both models and confirms the qualitative conclusions (utilisation, number of
+evaluations, best configuration) do not depend on the choice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import format_table
+from repro.core.search import CBOSearch
+from common import SCALE, get_problem, print_block
+
+
+def _run(overhead):
+    problem = get_problem(SCALE.setups_fig3[0])
+    search = CBOSearch(
+        problem.space,
+        problem.evaluate,
+        num_workers=SCALE.num_workers,
+        surrogate="RF",
+        overhead=overhead,
+        refit_interval=SCALE.refit_interval,
+        seed=13,
+    )
+    return search.run(max_time=SCALE.max_time / 2)
+
+
+def _run_both():
+    return {name: _run(name) for name in ("analytic", "measured")}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_overhead_models(benchmark):
+    """Analytic vs. measured manager-overhead accounting."""
+    results = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{result.best_runtime:.1f}",
+            result.num_evaluations,
+            f"{result.worker_utilization:.2f}",
+        ]
+        for name, result in results.items()
+    ]
+    print_block(
+        "Ablation — manager-overhead model",
+        format_table(["overhead model", "best (s)", "#evals", "utilisation"], rows),
+    )
+
+    analytic = results["analytic"]
+    measured = results["measured"]
+    assert np.isfinite(analytic.best_runtime) and np.isfinite(measured.best_runtime)
+    # Conclusions should agree across the two accounting schemes.
+    assert abs(analytic.worker_utilization - measured.worker_utilization) < 0.25
+    assert measured.best_runtime <= analytic.best_runtime * 1.3
+    assert analytic.best_runtime <= measured.best_runtime * 1.3

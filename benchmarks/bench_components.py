@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the reproduction's building blocks.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of the
+hot paths the campaign benchmarks rely on: a single simulated workflow
+evaluation, a random-forest / Gaussian-process surrogate fit, one optimizer
+ask/tell interaction and a tabular-VAE training run.  They are useful when
+tuning the simulator or the models, and they document the cost assumptions
+behind the campaign-level figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import BayesianOptimizer
+from repro.core.surrogate import GaussianProcessSurrogate, RandomForestSurrogate
+from repro.core.vae.transforms import TabularTransform
+from repro.core.vae.tvae import TabularVAE
+from repro.hep.parameters import DEFAULT_CONFIGURATION
+from common import get_problem
+
+
+@pytest.mark.benchmark(group="components")
+@pytest.mark.parametrize("setup", ["4n-1s-11p", "4n-2s-20p"])
+def test_bench_workflow_evaluation(benchmark, setup):
+    """Cost of one simulated workflow evaluation (default configuration)."""
+    problem = get_problem(setup)
+    runtime = benchmark(problem.workflow.run, DEFAULT_CONFIGURATION)
+    assert not runtime.failed
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_random_workflow_evaluation(benchmark):
+    """Cost of evaluating random configurations (includes pathological ones)."""
+    problem = get_problem("4n-2s-20p")
+    rng = np.random.default_rng(0)
+    configs = problem.space.sample(64, rng)
+    counter = {"i": 0}
+
+    def evaluate_next():
+        config = configs[counter["i"] % len(configs)]
+        counter["i"] += 1
+        return problem.evaluate(config)
+
+    benchmark(evaluate_next)
+
+
+def _training_data(n, setup="4n-2s-20p", seed=0):
+    problem = get_problem(setup)
+    rng = np.random.default_rng(seed)
+    configs = problem.space.sample(n, rng)
+    X = problem.space.to_numeric_array(configs)
+    y = rng.normal(size=n)
+    return problem, X, y
+
+
+@pytest.mark.benchmark(group="components")
+@pytest.mark.parametrize("n", [128, 512])
+def test_bench_random_forest_fit(benchmark, n):
+    """Random-forest surrogate refit cost (the per-batch cost of the search)."""
+    _, X, y = _training_data(n)
+    forest = RandomForestSurrogate(n_estimators=12, seed=0)
+    benchmark(forest.fit, X, y)
+
+
+@pytest.mark.benchmark(group="components")
+@pytest.mark.parametrize("n", [128, 512])
+def test_bench_gaussian_process_fit(benchmark, n):
+    """Gaussian-process surrogate fit cost (grows as O(n^3))."""
+    _, X, y = _training_data(n)
+    gp = GaussianProcessSurrogate()
+    benchmark(gp.fit, X, y)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_optimizer_ask(benchmark):
+    """One multi-point ask (512 candidates, batch of 16) on a fitted optimizer."""
+    problem, X, y = _training_data(256)
+    optimizer = BayesianOptimizer(problem.space, surrogate="RF", n_initial_points=10, seed=0)
+    rng = np.random.default_rng(1)
+    configs = problem.space.sample(256, rng)
+    optimizer.tell(configs, list(np.random.default_rng(2).normal(size=256)))
+    benchmark(optimizer.ask, 16)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_tabular_vae_fit(benchmark):
+    """Training the tabular VAE on a top-q%-sized dataset (~100 rows)."""
+    problem = get_problem("4n-2s-20p")
+    rng = np.random.default_rng(0)
+    configs = problem.space.sample(100, rng)
+    transform = TabularTransform(problem.space)
+    X = transform.encode(configs)
+
+    def train():
+        vae = TabularVAE(
+            input_dim=transform.dimension,
+            numeric_columns=transform.numeric_columns,
+            categorical_blocks=transform.categorical_blocks,
+            latent_dim=8,
+            seed=0,
+        )
+        vae.fit(X, epochs=100, batch_size=64)
+        return vae
+
+    vae = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert vae.fitted

@@ -1,0 +1,75 @@
+"""Fig. 3 (f): scatter of every evaluation's run time, TL vs no-TL.
+
+The paper's Fig. 3 (f) shows all evaluations of one 16n-2s-20p job with and
+without transfer learning: with TL the evaluations start in the
+high-performing region and stay concentrated there (lower run times per
+evaluation, hence more evaluations overall); without TL the early evaluations
+are scattered across the whole run-time range.
+
+The benchmark reproduces the same comparison on the largest setup of the
+configured scale and prints a per-time-decile summary of the evaluation run
+times for both variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import format_table
+from common import SCALE, get_campaign, print_block
+
+
+def _scatter_summary(history, max_time, bins=6):
+    edges = np.linspace(0.0, max_time, bins + 1)
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        runtimes = np.array(
+            [ev.runtime for ev in history if lo <= ev.completed < hi and np.isfinite(ev.runtime)]
+        )
+        failures = sum(
+            1 for ev in history if lo <= ev.completed < hi and not np.isfinite(ev.runtime)
+        )
+        if runtimes.size:
+            rows.append(
+                [f"{lo:.0f}-{hi:.0f}s", len(runtimes), f"{np.median(runtimes):.1f}",
+                 f"{runtimes.min():.1f}", f"{runtimes.max():.1f}", failures]
+            )
+        else:
+            rows.append([f"{lo:.0f}-{hi:.0f}s", 0, "-", "-", "-", failures])
+    return rows
+
+
+def _run():
+    target = SCALE.setups_fig3[-1]
+    source = SCALE.setups_fig3[-2] if len(SCALE.setups_fig3) > 1 else None
+    no_tl = get_campaign(target, "RF")
+    tl = get_campaign(target, "TL-RF", source_setup=source) if source else None
+    return target, no_tl, tl
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_scatter_tl_vs_no_tl(benchmark):
+    """Regenerate the Fig. 3 (f) evaluation scatter for one job of each variant."""
+    target, no_tl, tl = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert tl is not None, "the configured scale needs at least two setups"
+
+    headers = ["window", "#evals", "median (s)", "min (s)", "max (s)", "#failed"]
+    no_tl_history = no_tl.results[0].history
+    tl_history = tl.results[0].history
+    body = (
+        "without transfer learning:\n"
+        + format_table(headers, _scatter_summary(no_tl_history, SCALE.max_time))
+        + "\n\nwith transfer learning:\n"
+        + format_table(headers, _scatter_summary(tl_history, SCALE.max_time))
+    )
+    print_block(f"Fig. 3 (f) — evaluation scatter on {target}", body)
+
+    # Paper shape: the TL job starts off in the high-performing region, so the
+    # median run time of its *early* evaluations is lower than the cold job's.
+    early = 0.3 * SCALE.max_time
+    early_median = lambda history: np.nanmedian(  # noqa: E731
+        [ev.runtime for ev in history if ev.completed <= early]
+    )
+    assert early_median(tl_history) <= early_median(no_tl_history) * 1.1
+
+    # More evaluations overall with TL (faster configurations per evaluation).
+    assert len(tl_history) >= 0.8 * len(no_tl_history)

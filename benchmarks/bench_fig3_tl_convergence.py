@@ -1,0 +1,67 @@
+"""Fig. 3 (a)-(e): convergence of the best configuration, with and without TL.
+
+The paper's Fig. 3 plots the run time of the best configuration found so far
+as a function of search time for the five workflow setups, with and without
+VAE-ABO transfer learning (5 repetitions, 1 hour, 128 workers).  This
+benchmark regenerates the same series against the simulated workflow: for each
+setup in the transfer chain it runs a cold (no-TL) campaign and a TL campaign
+whose source is the previous setup's history, then prints the best-known run
+time at a few sample times plus the full trajectory table.
+
+Expected shape (paper): the TL curves converge almost immediately, while the
+no-TL curves take tens of minutes; only the 11p→16p transfer (the workflow
+itself changes) needs a few minutes.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig3_series, fig3_table
+from common import SCALE, get_campaign, print_block
+
+
+def _run_fig3_chain():
+    chain = {}
+    previous = None
+    for setup in SCALE.setups_fig3:
+        entry = {"no_tl": get_campaign(setup, "RF")}
+        if previous is not None:
+            entry["tl"] = get_campaign(setup, "TL-RF", source_setup=previous)
+        chain[setup] = entry
+        previous = setup
+    return chain
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_tl_convergence(benchmark):
+    """Regenerate the Fig. 3 convergence series (shape check + report)."""
+    chain = benchmark.pedantic(_run_fig3_chain, rounds=1, iterations=1)
+
+    sample_times = tuple(
+        SCALE.max_time * fraction for fraction in (0.1, 0.25, 0.5, 1.0)
+    )
+    print_block(
+        f"Fig. 3 — best configuration vs search time ({SCALE.name} scale, "
+        f"{SCALE.num_workers} workers, {SCALE.max_time:.0f}s budget, "
+        f"{SCALE.repetitions} repetitions)",
+        fig3_table(chain, sample_times=sample_times),
+    )
+
+    series = fig3_series(chain, num_points=40)
+    for setup, entry in chain.items():
+        if "tl" not in entry:
+            continue
+        tl = entry["tl"]
+        no_tl = entry["no_tl"]
+        # Paper shape: with TL the incumbent early in the search is already
+        # close to (or better than) what the cold search needs much longer to
+        # reach.
+        early = 0.25 * SCALE.max_time
+        tl_early = min(
+            r.history.best_runtime_at(early) for r in tl.results
+        )
+        no_tl_final = min(r.history.best_runtime_at(SCALE.max_time) for r in no_tl.results)
+        assert tl_early <= no_tl_final * 1.6, (
+            f"{setup}: TL incumbent at t={early:.0f}s ({tl_early:.1f}s) should be "
+            f"close to the cold search's final best ({no_tl_final:.1f}s)"
+        )
+        assert series[setup]["tl"]["time"].shape == series[setup]["no_tl"]["time"].shape

@@ -1,0 +1,96 @@
+"""Fig. 4 (a)-(e): surrogate-model comparison (RAND, RF, GP, TL-RF, TL-GP).
+
+The paper's Fig. 4 compares random sampling with random-forest and
+Gaussian-process surrogates, with and without VAE-ABO transfer learning, on
+the five effectiveness metrics of §IV-A1: best configuration, mean best
+configuration, number of evaluations, worker utilisation and search speedup
+over random sampling.
+
+Expected shape (paper):
+
+* every model beats random sampling on the best configuration (Fig. 4a);
+* TL variants converge fastest (lowest mean best, Fig. 4b);
+* RF completes far more evaluations than GP and keeps near-100 % worker
+  utilisation, while GP's utilisation collapses (Fig. 4c/d);
+* TL achieves the largest search speedups — the paper reports >40× with TL
+  vs 2.5–10× without (Fig. 4e).
+"""
+
+import pytest
+
+from repro.analysis.figures import fig4_rows, fig4_table
+from common import SCALE, get_campaign, print_block
+
+#: The method labels of Fig. 4, in plotting order.
+METHODS = ("RAND", "RF", "GP", "TL-RF", "TL-GP")
+
+
+def _source_for(setup):
+    """TL source: the previous setup in the Fig. 3 chain (None for the first)."""
+    idx = SCALE.setups_fig4.index(setup)
+    return SCALE.setups_fig4[idx - 1] if idx > 0 else None
+
+
+def _run_fig4():
+    campaigns = {}
+    for setup in SCALE.setups_fig4:
+        source = _source_for(setup)
+        methods = {}
+        for method in METHODS:
+            if method.startswith("TL-") and source is None:
+                continue  # the first setup has nothing to transfer from
+            methods[method] = get_campaign(setup, method, source_setup=source)
+        campaigns[setup] = methods
+    return campaigns
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_model_comparison(benchmark):
+    """Regenerate the Fig. 4 metric bars and check their qualitative shape."""
+    campaigns = benchmark.pedantic(_run_fig4, rounds=1, iterations=1)
+
+    print_block(
+        f"Fig. 4 — surrogate model comparison ({SCALE.name} scale, "
+        f"{SCALE.num_workers} workers, {SCALE.max_time:.0f}s, "
+        f"{SCALE.repetitions} repetitions)",
+        fig4_table(campaigns),
+    )
+    rows = {(r["setup"], r["method"]): r for r in fig4_rows(campaigns)}
+
+    for setup, methods in campaigns.items():
+        rand_best = rows[(setup, "RAND")]["best"].mean
+        rf_best = rows[(setup, "RF")]["best"].mean
+        # Fig. 4a: the model-based searches find configurations at least as
+        # good as random sampling.  With the reduced small-scale budgets and
+        # repetition counts a little noise is tolerated; the strict ordering
+        # is asserted at the full "paper" scale.
+        margin = 1.1 if SCALE.name == "paper" else 1.3
+        assert rf_best <= rand_best * margin
+
+        # Fig. 4c/d: RF utilises the workers at least as well as GP.  The
+        # paper's large gap in the *number of evaluations* only appears once
+        # enough observations accumulate for the O(n^3) GP update to dominate
+        # (hundreds to thousands of points), so that ordering is only asserted
+        # at the full "paper" scale.
+        if "GP" in methods:
+            assert (
+                rows[(setup, "RF")]["utilization"].mean
+                >= rows[(setup, "GP")]["utilization"].mean - 0.05
+            )
+            if SCALE.name == "paper":
+                assert (
+                    rows[(setup, "RF")]["evaluations"].mean
+                    >= rows[(setup, "GP")]["evaluations"].mean
+                )
+
+        # Fig. 4b/4e: transfer learning converges at least as fast as the
+        # corresponding cold search.
+        if (setup, "TL-RF") in rows:
+            assert (
+                rows[(setup, "TL-RF")]["mean_best"].mean
+                <= rows[(setup, "RF")]["mean_best"].mean * 1.15
+            )
+            assert (
+                rows[(setup, "TL-RF")]["speedup"].mean
+                >= rows[(setup, "RF")]["speedup"].mean * 0.75
+            )

@@ -1,0 +1,157 @@
+"""Shared configuration and caching for the benchmark harness.
+
+Every figure of the paper's evaluation section has a benchmark that
+regenerates its data series.  The real experiments ran for one hour on 128
+Theta nodes; the reproduction runs the same searches against the simulated
+workflow in virtual time, so the knobs below trade fidelity against the wall
+clock time of the benchmark suite.
+
+Two scales are provided, selected with the ``REPRO_BENCH_SCALE`` environment
+variable:
+
+* ``small`` (default) — reduced worker counts, budgets and repetitions; the
+  whole suite runs in roughly 15–25 minutes and already reproduces the
+  qualitative shape of every figure.
+* ``paper`` — 128 workers, 1-hour budgets, 5 repetitions and all five setups;
+  closer to the original campaign sizes (expect multiple hours).
+
+Campaign results are cached per benchmark session (keyed by their arguments)
+so that several figures can share the same underlying searches — e.g. the
+Fig. 4 RAND campaign is also the speedup baseline.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.campaign import CampaignResult, run_repeated_search
+from repro.core.history import SearchHistory
+from repro.hep import HEPWorkflowProblem
+
+__all__ = ["BenchScale", "SCALE", "get_problem", "get_campaign", "print_block"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs controlling the size of the benchmark campaigns."""
+
+    name: str
+    num_workers: int
+    max_time: float
+    repetitions: int
+    setups_fig3: Tuple[str, ...]
+    setups_fig4: Tuple[str, ...]
+    setups_fig5: Tuple[str, ...]
+    refit_interval: int
+    vae_epochs: int
+    surrogate_train_samples: int
+
+
+_SMALL = BenchScale(
+    name="small",
+    num_workers=8,
+    max_time=600.0,
+    repetitions=2,
+    setups_fig3=("4n-1s-11p", "4n-2s-16p", "4n-2s-20p"),
+    setups_fig4=("4n-1s-11p", "4n-2s-16p", "4n-2s-20p"),
+    setups_fig5=("4n-2s-20p",),
+    refit_interval=6,
+    vae_epochs=120,
+    surrogate_train_samples=250,
+)
+
+_PAPER = BenchScale(
+    name="paper",
+    num_workers=128,
+    max_time=3600.0,
+    repetitions=5,
+    setups_fig3=("4n-1s-11p", "4n-2s-16p", "4n-2s-20p", "8n-2s-20p", "16n-2s-20p"),
+    setups_fig4=("4n-1s-11p", "4n-2s-16p", "4n-2s-20p", "8n-2s-20p", "16n-2s-20p"),
+    setups_fig5=("4n-2s-20p", "8n-2s-20p"),
+    refit_interval=8,
+    vae_epochs=300,
+    surrogate_train_samples=600,
+)
+
+
+def _select_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name == "paper":
+        return _PAPER
+    return _SMALL
+
+
+#: The active benchmark scale.
+SCALE = _select_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def get_problem(setup: str, seed: int = 1) -> HEPWorkflowProblem:
+    """One shared problem instance per setup (the workflow is stateless)."""
+    return HEPWorkflowProblem.from_setup(setup, seed=seed)
+
+
+_CAMPAIGN_CACHE: Dict[tuple, CampaignResult] = {}
+
+
+def get_campaign(
+    setup: str,
+    method: str,
+    source_setup: str | None = None,
+    seed: int = 0,
+) -> CampaignResult:
+    """Run (or reuse) a campaign of ``method`` on ``setup``.
+
+    ``method`` is one of ``"RAND"``, ``"RF"``, ``"GP"``, ``"TL-RF"``,
+    ``"TL-GP"``.  Transfer-learning methods take their source history from the
+    first repetition of the plain-RF campaign on ``source_setup`` (or, when no
+    source setup is given, from the previous setup in the Fig. 3 chain).
+    """
+    key = (setup, method, source_setup, seed, SCALE.name)
+    if key in _CAMPAIGN_CACHE:
+        return _CAMPAIGN_CACHE[key]
+
+    problem = get_problem(setup)
+    source_history: SearchHistory | None = None
+    surrogate = "RF"
+    random_sampling = False
+    if method == "RAND":
+        surrogate, random_sampling = "RAND", True
+    elif method == "RF":
+        surrogate = "RF"
+    elif method == "GP":
+        surrogate = "GP"
+    elif method in ("TL-RF", "TL-GP"):
+        surrogate = method.split("-")[1]
+        if source_setup is None:
+            raise ValueError(f"{method} requires a source_setup")
+        source_history = get_campaign(source_setup, "RF", seed=seed).results[0].history
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    campaign = run_repeated_search(
+        problem.space,
+        problem.evaluate,
+        label=method,
+        setup=setup,
+        surrogate=surrogate,
+        random_sampling=random_sampling,
+        source_history=source_history,
+        repetitions=SCALE.repetitions,
+        max_time=SCALE.max_time,
+        num_workers=SCALE.num_workers,
+        refit_interval=SCALE.refit_interval,
+        vae_epochs=SCALE.vae_epochs,
+        seed=seed,
+    )
+    _CAMPAIGN_CACHE[key] = campaign
+    return campaign
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a titled block (visible with ``pytest -s``/captured in the report)."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

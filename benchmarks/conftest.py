@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``common`` module importable when pytest is invoked from
+# the repository root (``pytest benchmarks/``).
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Framework comparison on a learned run-time surrogate (the Fig. 5 experiment).
+
+The paper compares its DeepHyper-based approach against GPtune and HiPerBOt on
+a laptop by replacing the real workflow with a random-forest surrogate of its
+run time.  This example does the same against the simulated workflow:
+
+1. collect random-sampling data on the simulated workflow,
+2. train the run-time surrogate,
+3. run every framework — RAND, DH1W, DH10W, GPTUNE, HIPERBOT — with and
+   without transfer learning, all starting from the same initial samples, and
+4. print the Fig. 5 metrics (best configuration, mean best, #evaluations).
+
+Usage::
+
+    python examples/compare_frameworks.py [--setup 4n-2s-20p] [--budget 3600]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import CBOSearch
+from repro.hep import HEPWorkflowProblem, SurrogateRuntime
+from repro.frameworks import DeepHyperSearch, GPTuneLike, HiPerBOtLike, RandomSearch
+from repro.analysis.metrics import mean_best_runtime
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--setup", default="4n-2s-20p")
+    parser.add_argument("--budget", type=float, default=3600.0)
+    parser.add_argument("--train-samples", type=int, default=300,
+                        help="random workflow evaluations used to train the surrogate")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    problem = HEPWorkflowProblem.from_setup(args.setup, seed=args.seed)
+    print(f"training the run-time surrogate on {args.train_samples} random "
+          f"evaluations of {args.setup} ...")
+    surrogate = SurrogateRuntime.train(problem, num_samples=args.train_samples, seed=args.seed)
+
+    # Source data for the transfer-learning variants: a previous (smaller
+    # budget) DeepHyper-style search against the same surrogate.
+    source_search = CBOSearch(
+        problem.space, surrogate, num_workers=10, surrogate="RF",
+        refit_interval=4, seed=args.seed,
+    )
+    source_history = source_search.run(max_time=args.budget).history
+    print(f"source search for TL: {len(source_history)} evaluations, "
+          f"best {source_history.best_runtime():.1f} s")
+
+    # The same 10 initial samples for every framework, as in the paper.
+    initial = problem.space.sample(10, np.random.default_rng(args.seed + 7))
+
+    frameworks = {
+        "RAND": RandomSearch(problem.space, surrogate, num_workers=1, seed=args.seed),
+        "DH1W": DeepHyperSearch(problem.space, surrogate, num_workers=1, seed=args.seed),
+        "DH10W": DeepHyperSearch(problem.space, surrogate, num_workers=10, seed=args.seed),
+        "GPTUNE": GPTuneLike(problem.space, surrogate, seed=args.seed),
+        "HIPERBOT": HiPerBOtLike(problem.space, surrogate, seed=args.seed),
+    }
+
+    print(f"\n{'method':14s} {'best (s)':>10s} {'mean best (s)':>14s} {'#evals':>8s}")
+    for with_tl in (False, True):
+        for name, framework in frameworks.items():
+            if with_tl and name == "RAND":
+                continue  # random sampling has no transfer-learning mode
+            result = framework.run(
+                args.budget,
+                initial_configurations=initial,
+                source_history=source_history if with_tl else None,
+            )
+            label = result.name
+            print(
+                f"{label:14s} {result.best_runtime:10.1f} "
+                f"{mean_best_runtime(result.history, args.budget):14.1f} "
+                f"{result.num_evaluations:8d}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Drive the HEPnOS/Mochi substrate directly (no autotuning involved).
+
+The storage-service simulator is a usable library on its own.  This example:
+
+1. builds a Bedrock service configuration from HEPnOS tuning parameters and
+   prints the resulting JSON document (what the real HEPnOS would be started
+   with),
+2. deploys the simulated service on a small node allocation,
+3. runs the data-loading step and the parallel-event-processing step for one
+   hand-written configuration, and
+4. prints per-step timings and service-side statistics (RPCs handled, bytes
+   stored, database occupancy).
+
+Usage::
+
+    python examples/explore_hepnos_substrate.py [--files 20] [--nodes 4]
+"""
+
+import argparse
+
+from repro.sim import Environment
+from repro.mochi.bedrock import ServiceConfig
+from repro.platform import THETA, NodeAllocation
+from repro.hepnos.service import HEPnOSService
+from repro.hep.costs import DEFAULT_COSTS
+from repro.hep.dataloader import DataLoaderConfig, DataLoaderRun
+from repro.hep.hdf5 import SyntheticEventFiles
+from repro.hep.pep import PEPConfig, PEPRun
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--files", type=int, default=20)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # --- 1. the Bedrock configuration ------------------------------------
+    service_config = ServiceConfig.from_tuning_parameters(
+        num_event_dbs=4,
+        num_product_dbs=4,
+        num_providers=4,
+        num_rpc_threads=16,
+        pool_type="fifo_wait",
+        progress_thread=True,
+        busy_spin=False,
+    )
+    print("Bedrock service configuration (JSON):")
+    print(service_config.to_json())
+
+    # --- 2. deploy the simulated service ----------------------------------
+    env = Environment()
+    allocation = NodeAllocation.create(env, THETA, args.nodes)
+    service = HEPnOSService(env, allocation.hepnos_nodes, service_config)
+    files = SyntheticEventFiles(args.files, seed=args.seed)
+    print(f"\ndeployment: {len(allocation.hepnos_nodes)} HEPnOS node(s), "
+          f"{len(allocation.app_nodes)} application node(s)")
+    print(f"input: {len(files)} files, {files.total_events} events, "
+          f"{files.total_bytes / 2**30:.2f} GiB")
+
+    # --- 3. run the data loader -------------------------------------------
+    loader = DataLoaderRun(
+        env,
+        allocation.app_nodes,
+        service,
+        list(files),
+        DataLoaderConfig(pes_per_node=8, batch_size=512, use_async=True, async_threads=4),
+        DEFAULT_COSTS,
+    )
+    env.process(loader.run())
+    env.run()
+    print(f"\ndata loading finished at t={loader.stats.elapsed:.1f} s "
+          f"({loader.stats.events_stored} events, "
+          f"{loader.stats.bytes_stored / 2**30:.2f} GiB, "
+          f"{loader.stats.rpcs_issued} store RPCs)")
+
+    # --- 4. run the parallel event processing ------------------------------
+    for node in allocation.app_nodes:
+        node.reset_accounting()
+    pep = PEPRun(
+        env,
+        allocation.app_nodes,
+        service,
+        PEPConfig(pes_per_node=8, num_threads=8, input_batch_size=256, use_preloading=True),
+        DEFAULT_COSTS,
+    )
+    env.process(pep.run())
+    env.run()
+    print(f"event processing finished in {pep.stats.elapsed:.1f} s "
+          f"({pep.stats.events_processed} events, "
+          f"{pep.stats.remote_blocks} blocks exchanged between processes)")
+
+    # --- 5. service-side statistics ----------------------------------------
+    print("\nper-database occupancy (event databases):")
+    for idx, (server, db) in enumerate(service.event_databases):
+        print(f"  event db {idx} on server {server.server_id}: "
+              f"{db.puts} puts, {db.gets} gets, {len(db)} records")
+    total_rpcs = sum(server.engine.rpcs_handled for server in service.servers)
+    print(f"total RPCs handled by the service: {total_rpcs}")
+
+
+if __name__ == "__main__":
+    main()

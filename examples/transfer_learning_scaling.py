@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Transfer learning across workflow setups (the paper's headline result).
+
+Reproduces the §IV-B protocol at a reduced scale: tune a small setup, then use
+its history as the VAE-ABO transfer-learning source for the next setup in the
+chain (adding a workflow step, adding parameters, scaling up the node count),
+and compare the convergence of the transfer-learning search against a cold
+search on each target setup.
+
+Usage::
+
+    python examples/transfer_learning_scaling.py \
+        [--budget 900] [--workers 16] [--chain 4n-1s-11p 4n-2s-16p 4n-2s-20p]
+"""
+
+import argparse
+
+from repro.core import CBOSearch, VAEABOSearch
+from repro.hep import HEPWorkflowProblem
+from repro.analysis.metrics import mean_best_runtime, search_speedup
+
+
+def run_stage(problem, budget, workers, seed, source_history=None):
+    """Run one search (transfer-learning when a source history is given)."""
+    common = dict(
+        num_workers=workers,
+        surrogate="RF",
+        refit_interval=4,
+        seed=seed,
+    )
+    if source_history is None:
+        search = CBOSearch(problem.space, problem.evaluate, **common)
+    else:
+        search = VAEABOSearch(
+            problem.space,
+            problem.evaluate,
+            source_history=source_history,
+            vae_epochs=150,
+            quantile=0.10,
+            **common,
+        )
+    return search.run(max_time=budget)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=900.0)
+    parser.add_argument("--workers", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--chain",
+        nargs="+",
+        default=["4n-1s-11p", "4n-2s-16p", "4n-2s-20p"],
+        help="ordered list of setups; each transfers from the previous one",
+    )
+    args = parser.parse_args()
+
+    previous_history = None
+    for stage, setup_name in enumerate(args.chain):
+        problem = HEPWorkflowProblem.from_setup(setup_name, seed=args.seed)
+        print(f"\n=== stage {stage + 1}: {setup_name} "
+              f"({len(problem.space)} parameters) ===")
+
+        cold = run_stage(problem, args.budget, args.workers, args.seed)
+        line = (f"  no-TL : best={cold.best_runtime:7.1f} s   "
+                f"mean-best={mean_best_runtime(cold, args.budget):7.1f} s   "
+                f"evals={cold.num_evaluations}")
+        print(line)
+
+        if previous_history is not None:
+            tl = run_stage(
+                problem, args.budget, args.workers, args.seed,
+                source_history=previous_history,
+            )
+            speedup_tl = search_speedup(tl, cold.best_runtime, args.budget)
+            print(f"  TL    : best={tl.best_runtime:7.1f} s   "
+                  f"mean-best={mean_best_runtime(tl, args.budget):7.1f} s   "
+                  f"evals={tl.num_evaluations}   "
+                  f"(reaches the no-TL best {speedup_tl:.1f}x sooner)")
+            # The next stage transfers from the richer of the two runs.
+            previous_history = tl.history
+        else:
+            previous_history = cold.history
+
+        print("  convergence (best run time after t seconds of search):")
+        for fraction in (0.1, 0.25, 0.5, 1.0):
+            t = fraction * args.budget
+            best = previous_history.best_runtime_at(t)
+            print(f"    t={t:7.1f} s   best={best:7.1f} s")
+
+
+if __name__ == "__main__":
+    main()

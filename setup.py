@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` works in fully offline environments where
+the ``wheel`` package (needed for PEP 660 editable wheels with older
+setuptools) is unavailable: pip then falls back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

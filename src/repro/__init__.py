@@ -1,0 +1,33 @@
+"""repro — reproduction of VAE-guided asynchronous Bayesian optimization for
+HPC storage service autotuning (CLUSTER 2022).
+
+The package is organised as follows:
+
+* :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.mochi` — simulated Mochi components (Mercury, Argobots, Margo,
+  Yokan, Bedrock).
+* :mod:`repro.hepnos` — HEPnOS storage service model built on Mochi.
+* :mod:`repro.hep` — the NOvA event-selection workflow (data loader + parallel
+  event processing) and its parameter space.
+* :mod:`repro.core` — the autotuning library: parameter spaces, surrogate
+  models, asynchronous Bayesian optimization, the tabular VAE and the
+  VAE-guided transfer-learning search (VAE-ABO).
+* :mod:`repro.frameworks` — comparator autotuning frameworks (random search,
+  DeepHyper-like, GPtune-like, HiPerBOt-like).
+* :mod:`repro.analysis` — effectiveness metrics, campaign runner and
+  figure-series generation.
+
+Quickstart
+----------
+>>> from repro.hep import HEPWorkflowProblem
+>>> from repro.core import VAEABOSearch
+>>> problem = HEPWorkflowProblem.from_setup("4n-2s-20p", seed=0)
+>>> search = VAEABOSearch(problem.space, problem.evaluate, num_workers=8, seed=0)
+>>> result = search.run(max_time=300.0)
+>>> result.best_objective is not None
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

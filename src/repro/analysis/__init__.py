@@ -1,0 +1,42 @@
+"""Analysis: effectiveness metrics, campaign runner and figure-series generation.
+
+* :mod:`repro.analysis.metrics` — the five effectiveness metrics of §IV-A1
+  (best configuration, mean best configuration, number of evaluations, worker
+  utilisation, search speedup) plus the utilisation-over-time series of
+  Fig. 4 (f).
+* :mod:`repro.analysis.campaign` — runs repeated searches (with and without
+  transfer learning, across surrogate models and setups) and aggregates the
+  metrics the way the paper's bar charts do (mean with min/max error bars
+  over 5 repetitions).
+* :mod:`repro.analysis.figures` — produces the data series behind every
+  figure of the evaluation section; the benchmark harness prints these as
+  tables.
+"""
+
+from repro.analysis.metrics import (
+    best_runtime,
+    mean_best_runtime,
+    num_evaluations,
+    search_speedup,
+    utilization_timeline,
+    worker_utilization,
+)
+from repro.analysis.campaign import (
+    AggregatedMetrics,
+    CampaignResult,
+    run_repeated_search,
+    run_transfer_chain,
+)
+
+__all__ = [
+    "AggregatedMetrics",
+    "CampaignResult",
+    "best_runtime",
+    "mean_best_runtime",
+    "num_evaluations",
+    "run_repeated_search",
+    "run_transfer_chain",
+    "search_speedup",
+    "utilization_timeline",
+    "worker_utilization",
+]

@@ -1,0 +1,113 @@
+"""Campaign-level CSV persistence.
+
+The paper publishes its results as a collection of CSV files — one per
+one-hour experiment, 115 files in total — plus scripts that aggregate them
+into the figures.  This module reproduces that workflow for the reproduction's
+campaigns: every repetition of a campaign is written to its own CSV file (the
+same one-row-per-evaluation layout as
+:meth:`repro.core.history.SearchHistory.to_csv`) together with a small JSON
+manifest describing the campaign, and the whole directory can be loaded back
+for analysis without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.history import SearchHistory
+from repro.core.search import SearchResult
+from repro.core.space import SearchSpace
+from repro.analysis.campaign import CampaignResult
+
+__all__ = ["save_campaign", "load_campaign", "load_histories"]
+
+MANIFEST_NAME = "campaign.json"
+
+
+def save_campaign(campaign: CampaignResult, directory: Union[str, Path]) -> Path:
+    """Write a campaign to ``directory`` (one CSV per repetition + manifest).
+
+    Returns the directory path.  Existing files with the same names are
+    overwritten; other files in the directory are left untouched.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "label": campaign.label,
+        "setup": campaign.setup,
+        "max_time": campaign.max_time,
+        "num_workers": campaign.num_workers,
+        "repetitions": len(campaign.results),
+        "files": [],
+    }
+    for index, result in enumerate(campaign.results):
+        name = f"{campaign.label.replace('/', '_')}-rep{index:02d}.csv"
+        result.history.to_csv(directory / name)
+        manifest["files"].append(
+            {
+                "file": name,
+                "best_runtime": result.best_runtime,
+                "num_evaluations": result.num_evaluations,
+                "worker_utilization": result.worker_utilization,
+            }
+        )
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_histories(
+    directory: Union[str, Path], space: SearchSpace
+) -> List[SearchHistory]:
+    """Load every per-repetition history CSV from ``directory``."""
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    histories = []
+    for entry in manifest["files"]:
+        histories.append(SearchHistory.from_csv(directory / entry["file"], space))
+    return histories
+
+
+def load_campaign(directory: Union[str, Path], space: SearchSpace) -> CampaignResult:
+    """Reconstruct a :class:`CampaignResult` from a saved directory.
+
+    The per-repetition :class:`~repro.core.search.SearchResult` objects are
+    rebuilt from the stored histories and manifest metadata (busy intervals
+    are approximated by the evaluations' own intervals, which is exactly what
+    the utilisation metrics use).
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    campaign = CampaignResult(
+        label=manifest["label"],
+        setup=manifest["setup"],
+        max_time=float(manifest["max_time"]),
+        num_workers=int(manifest["num_workers"]),
+    )
+    for entry in manifest["files"]:
+        history = SearchHistory.from_csv(directory / entry["file"], space)
+        best = history.best()
+        campaign.results.append(
+            SearchResult(
+                history=history,
+                best_configuration=best.configuration if best else None,
+                best_runtime=best.runtime if best else float("nan"),
+                best_objective=best.objective if best else float("nan"),
+                num_evaluations=len(history),
+                worker_utilization=float(entry.get("worker_utilization", float("nan"))),
+                search_time=float(manifest["max_time"]),
+                num_workers=int(manifest["num_workers"]),
+                busy_intervals=[(ev.submitted, ev.completed) for ev in history],
+            )
+        )
+    return campaign
+
+
+def _read_manifest(directory: Path) -> Dict:
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(
+            f"{manifest_path} not found — is {directory} a saved campaign directory?"
+        )
+    return json.loads(manifest_path.read_text())

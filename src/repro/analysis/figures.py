@@ -1,0 +1,168 @@
+"""Figure-series assembly and plain-text rendering.
+
+The original paper ships Jupyter notebooks that turn per-evaluation CSV files
+into Figures 3, 4 and 5.  This module is the equivalent for the reproduction:
+it turns :class:`~repro.analysis.campaign.CampaignResult` objects into the
+exact series each figure plots and renders them as plain-text tables (the
+benchmark harness prints these, and they are easy to diff against
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.campaign import AggregatedMetrics, CampaignResult
+
+__all__ = [
+    "format_table",
+    "fig3_series",
+    "fig3_table",
+    "fig4_rows",
+    "fig4_table",
+    "fig5_rows",
+    "fig5_table",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, AggregatedMetrics):
+        return f"{value.mean:.1f} [{value.min:.1f}, {value.max:.1f}]"
+    if isinstance(value, float):
+        return "nan" if not np.isfinite(value) else f"{value:.2f}"
+    return str(value)
+
+
+# --------------------------------------------------------------------- Fig. 3
+def fig3_series(
+    chain: Mapping[str, Mapping[str, CampaignResult]],
+    num_points: int = 60,
+) -> Dict[str, Dict[str, Dict[str, np.ndarray]]]:
+    """Incumbent-trajectory series for every setup (Fig. 3 a-e).
+
+    Returns ``setup → {"no_tl"/"tl" → {"time", "mean", "min", "max"}}``.
+    """
+    series: Dict[str, Dict[str, Dict[str, np.ndarray]]] = {}
+    for setup, entry in chain.items():
+        series[setup] = {
+            variant: campaign.trajectory(num_points=num_points)
+            for variant, campaign in entry.items()
+        }
+    return series
+
+
+def fig3_table(
+    chain: Mapping[str, Mapping[str, CampaignResult]],
+    sample_times: Sequence[float] = (300.0, 900.0, 1800.0, 3600.0),
+) -> str:
+    """Text table of the best-known run time at a few search times (Fig. 3)."""
+    headers = ["setup", "variant"] + [f"best@{int(t)}s" for t in sample_times]
+    rows: List[List[object]] = []
+    for setup, entry in chain.items():
+        for variant, campaign in entry.items():
+            row: List[object] = [setup, variant]
+            for t in sample_times:
+                values = [
+                    r.history.best_runtime_at(min(t, campaign.max_time))
+                    for r in campaign.results
+                ]
+                row.append(AggregatedMetrics.from_values(values))
+            rows.append(row)
+    return format_table(headers, rows)
+
+
+# --------------------------------------------------------------------- Fig. 4
+def fig4_rows(
+    campaigns: Mapping[str, Mapping[str, CampaignResult]],
+    random_label: str = "RAND",
+) -> List[Dict[str, object]]:
+    """Rows of the Fig. 4 bar charts.
+
+    ``campaigns`` maps ``setup → {method_label → CampaignResult}``.  Each
+    returned row carries the five per-method metrics for one (setup, method).
+    """
+    rows: List[Dict[str, object]] = []
+    for setup, methods in campaigns.items():
+        random_campaign = methods.get(random_label)
+        for label, campaign in methods.items():
+            row: Dict[str, object] = {
+                "setup": setup,
+                "method": label,
+                "best": campaign.best(),
+                "mean_best": campaign.mean_best(),
+                "evaluations": campaign.evaluations(),
+                "utilization": campaign.utilization(),
+            }
+            if random_campaign is not None and label != random_label:
+                row["speedup"] = campaign.speedup_over(random_campaign)
+            else:
+                row["speedup"] = AggregatedMetrics(float("nan"), float("nan"), float("nan"))
+            rows.append(row)
+    return rows
+
+
+def fig4_table(campaigns: Mapping[str, Mapping[str, CampaignResult]]) -> str:
+    """Text rendering of the Fig. 4 metrics."""
+    rows = fig4_rows(campaigns)
+    headers = ["setup", "method", "best (s)", "mean best (s)", "#evals", "utilization", "speedup"]
+    table_rows = [
+        [
+            r["setup"],
+            r["method"],
+            r["best"],
+            r["mean_best"],
+            r["evaluations"],
+            r["utilization"],
+            r["speedup"],
+        ]
+        for r in rows
+    ]
+    return format_table(headers, table_rows)
+
+
+# --------------------------------------------------------------------- Fig. 5
+def fig5_rows(
+    campaigns: Mapping[str, Mapping[str, CampaignResult]],
+) -> List[Dict[str, object]]:
+    """Rows of the Fig. 5 bar charts (best, mean best, number of evaluations)."""
+    rows: List[Dict[str, object]] = []
+    for setup, methods in campaigns.items():
+        for label, campaign in methods.items():
+            rows.append(
+                {
+                    "setup": setup,
+                    "method": label,
+                    "best": campaign.best(),
+                    "mean_best": campaign.mean_best(),
+                    "evaluations": campaign.evaluations(),
+                }
+            )
+    return rows
+
+
+def fig5_table(campaigns: Mapping[str, Mapping[str, CampaignResult]]) -> str:
+    """Text rendering of the Fig. 5 metrics."""
+    rows = fig5_rows(campaigns)
+    headers = ["setup", "method", "best (s)", "mean best (s)", "#evals"]
+    table_rows = [
+        [r["setup"], r["method"], r["best"], r["mean_best"], r["evaluations"]] for r in rows
+    ]
+    return format_table(headers, table_rows)

@@ -1,0 +1,171 @@
+"""The paper's effectiveness metrics (§IV-A1).
+
+Five metrics are used throughout the evaluation:
+
+* **Best-performing configuration** — run time of the best configuration
+  found within the search budget.
+* **Mean best-performing configuration** — the time average of the
+  best-known run time over the search,
+  ``E[R] = (1/t_max) ∫_0^{t_max} R(t) dt``: the expected best run time if the
+  search were stopped at a uniformly random time.
+* **Number of evaluations** — completed workflow instances within the budget.
+* **Worker utilisation** — fraction of worker time spent running workflow
+  instances.
+* **Search speedup** — how much sooner a method reaches the best run time a
+  random search attains in the full budget:
+  ``S = t_max / argmin_t (R(t) < R_rand_best)``.
+
+All functions accept either a :class:`~repro.core.history.SearchHistory` or a
+:class:`~repro.core.search.SearchResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.history import SearchHistory
+from repro.core.search import SearchResult
+
+__all__ = [
+    "best_runtime",
+    "mean_best_runtime",
+    "num_evaluations",
+    "worker_utilization",
+    "search_speedup",
+    "time_to_reach",
+    "utilization_timeline",
+]
+
+HistoryLike = Union[SearchHistory, SearchResult]
+
+
+def _history(obj: HistoryLike) -> SearchHistory:
+    # SearchResult, FrameworkResult and anything else carrying a ``history``
+    # attribute are accepted; plain histories pass through.
+    history = getattr(obj, "history", None)
+    return history if isinstance(history, SearchHistory) else obj
+
+
+def best_runtime(obj: HistoryLike) -> float:
+    """Run time of the best configuration found (NaN if nothing succeeded)."""
+    return _history(obj).best_runtime()
+
+
+def num_evaluations(obj: HistoryLike) -> int:
+    """Number of completed evaluations."""
+    return len(_history(obj))
+
+
+def worker_utilization(result: SearchResult) -> float:
+    """Fraction of worker time spent evaluating (only defined on results)."""
+    return result.worker_utilization
+
+
+def mean_best_runtime(obj: HistoryLike, max_time: float) -> float:
+    """Time-averaged best-known run time ``E[R]`` over ``[0, max_time]``.
+
+    Before the first successful evaluation the best-known run time is
+    undefined; following the paper's analysis we extend the first incumbent
+    value backwards to time 0 (stopping the search before the first result
+    would force the user to fall back on that first configuration anyway).
+    Returns NaN when no evaluation succeeded.
+    """
+    if max_time <= 0:
+        raise ValueError("max_time must be positive")
+    trajectory = _history(obj).incumbent_trajectory()
+    if not trajectory:
+        return float("nan")
+    total = 0.0
+    # Constant extension of the first incumbent back to t = 0.
+    first_time, first_value = trajectory[0]
+    previous_time, previous_value = 0.0, first_value
+    for t, value in trajectory:
+        t_clipped = min(t, max_time)
+        if t_clipped > previous_time:
+            total += previous_value * (t_clipped - previous_time)
+            previous_time = t_clipped
+        previous_value = value
+        if t >= max_time:
+            break
+    if previous_time < max_time:
+        total += previous_value * (max_time - previous_time)
+    return total / max_time
+
+
+def time_to_reach(obj: HistoryLike, target_runtime: float) -> float:
+    """Earliest search time at which the incumbent run time is below ``target``.
+
+    Returns ``inf`` when the target is never reached.
+    """
+    for t, value in _history(obj).incumbent_trajectory():
+        if value < target_runtime:
+            return t
+    return float("inf")
+
+
+def search_speedup(
+    obj: HistoryLike,
+    random_best_runtime: float,
+    max_time: float,
+) -> float:
+    """Search speedup over random sampling (§IV-A1).
+
+    ``S = max_time / t*`` where ``t*`` is the earliest time the method's
+    incumbent beats the best run time random sampling found in the whole
+    budget.  By construction the speedup is at least 1 when the method reaches
+    the target within the budget; it is defined as 1.0 when it never does
+    (no speedup), and NaN when the random baseline itself never succeeded.
+    """
+    if max_time <= 0:
+        raise ValueError("max_time must be positive")
+    if not math.isfinite(random_best_runtime):
+        return float("nan")
+    t_star = time_to_reach(obj, random_best_runtime)
+    if not math.isfinite(t_star) or t_star <= 0:
+        return 1.0 if not math.isfinite(t_star) else float(max_time / max(t_star, 1e-9))
+    return float(max_time / t_star)
+
+
+def utilization_timeline(
+    busy_intervals: Sequence[Tuple[float, float]],
+    num_workers: int,
+    max_time: float,
+    window: float = 60.0,
+) -> List[Tuple[float, float]]:
+    """Worker utilisation per time window (the series of Fig. 4 (f)).
+
+    Parameters
+    ----------
+    busy_intervals:
+        ``(start, end)`` intervals during which a worker was evaluating.
+    num_workers:
+        Number of workers.
+    max_time:
+        Search budget (the timeline covers ``[0, max_time]``).
+    window:
+        Width of each averaging window in seconds.
+
+    Returns
+    -------
+    List of ``(window_center, utilisation)`` points.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if window <= 0 or max_time <= 0:
+        raise ValueError("window and max_time must be positive")
+    edges = np.arange(0.0, max_time + window, window)
+    points: List[Tuple[float, float]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        hi = min(hi, max_time)
+        if hi <= lo:
+            break
+        busy = 0.0
+        for start, end in busy_intervals:
+            overlap = min(end, hi) - max(start, lo)
+            if overlap > 0:
+                busy += overlap
+        points.append(((lo + hi) / 2.0, busy / (num_workers * (hi - lo))))
+    return points

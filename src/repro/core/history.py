@@ -1,0 +1,297 @@
+"""Search history: the record of every evaluation of an autotuning run.
+
+The history is the central data structure of the reproduction: the paper's
+figures are all computed from per-evaluation CSV files (timestamps, the
+evaluated configuration, the measured objective), and transfer learning
+consumes the history of a *previous* run (Algorithm 1's ``H_p``).
+
+:class:`SearchHistory` therefore supports:
+
+* appending :class:`Evaluation` records as the asynchronous search completes
+  them,
+* the incumbent trajectory (best objective / run time as a function of search
+  time) that Fig. 3 plots,
+* selection of the top-q% configurations used by the VAE transfer prior, and
+* CSV round-tripping compatible with a "one row per evaluation" layout.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.objective import Objective
+from repro.core.space import Configuration, SearchSpace
+
+__all__ = ["Evaluation", "SearchHistory"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One completed evaluation.
+
+    Attributes
+    ----------
+    configuration:
+        The evaluated configuration.
+    objective:
+        The maximised objective value (NaN for failed evaluations).
+    runtime:
+        The measured workflow run time in seconds (NaN for failures).
+    submitted:
+        Search time at which the evaluation was submitted to a worker.
+    completed:
+        Search time at which the result became available.
+    worker:
+        Identifier of the worker that ran the evaluation.
+    eval_id:
+        Monotonically increasing identifier within the run.
+    """
+
+    configuration: Configuration
+    objective: float
+    runtime: float
+    submitted: float
+    completed: float
+    worker: int = 0
+    eval_id: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the evaluation (search-time units)."""
+        return self.completed - self.submitted
+
+    @property
+    def failed(self) -> bool:
+        """True when the evaluation produced no valid objective."""
+        return not math.isfinite(self.objective)
+
+
+class SearchHistory:
+    """An append-only record of evaluations plus derived views.
+
+    Parameters
+    ----------
+    space:
+        The search space the evaluations belong to (used for CSV round trips
+        and transfer learning).
+    objective:
+        The objective transform (used to convert between objective and
+        run-time space).
+    """
+
+    def __init__(self, space: SearchSpace, objective: Optional[Objective] = None):
+        self.space = space
+        self.objective = objective or Objective()
+        self._evaluations: List[Evaluation] = []
+
+    # ---------------------------------------------------------------- dunders
+    def __len__(self) -> int:
+        return len(self._evaluations)
+
+    def __iter__(self) -> Iterator[Evaluation]:
+        return iter(self._evaluations)
+
+    def __getitem__(self, idx: int) -> Evaluation:
+        return self._evaluations[idx]
+
+    # --------------------------------------------------------------- mutation
+    def append(self, evaluation: Evaluation) -> None:
+        """Append one completed evaluation."""
+        self._evaluations.append(evaluation)
+
+    def extend(self, evaluations: Iterable[Evaluation]) -> None:
+        """Append several completed evaluations."""
+        for ev in evaluations:
+            self.append(ev)
+
+    def record(
+        self,
+        configuration: Configuration,
+        runtime: float,
+        submitted: float,
+        completed: float,
+        worker: int = 0,
+    ) -> Evaluation:
+        """Create, append and return an :class:`Evaluation` from a run time."""
+        evaluation = Evaluation(
+            configuration=dict(configuration),
+            objective=self.objective.from_runtime(runtime),
+            runtime=float(runtime) if runtime is not None else float("nan"),
+            submitted=float(submitted),
+            completed=float(completed),
+            worker=int(worker),
+            eval_id=len(self._evaluations),
+        )
+        self.append(evaluation)
+        return evaluation
+
+    # ------------------------------------------------------------------ views
+    @property
+    def evaluations(self) -> Tuple[Evaluation, ...]:
+        """All evaluations, in completion order of insertion."""
+        return tuple(self._evaluations)
+
+    def successful(self) -> List[Evaluation]:
+        """Evaluations with a finite objective."""
+        return [ev for ev in self._evaluations if not ev.failed]
+
+    def num_failures(self) -> int:
+        """Number of failed (NaN) evaluations."""
+        return sum(1 for ev in self._evaluations if ev.failed)
+
+    def configurations(self) -> List[Configuration]:
+        """All evaluated configurations."""
+        return [ev.configuration for ev in self._evaluations]
+
+    def objectives(self) -> np.ndarray:
+        """Objective values as an array (NaN for failures)."""
+        return np.asarray([ev.objective for ev in self._evaluations], dtype=float)
+
+    def runtimes(self) -> np.ndarray:
+        """Measured run times as an array (NaN for failures)."""
+        return np.asarray([ev.runtime for ev in self._evaluations], dtype=float)
+
+    def best(self) -> Optional[Evaluation]:
+        """The evaluation with the highest objective (None if all failed)."""
+        candidates = self.successful()
+        if not candidates:
+            return None
+        return max(candidates, key=lambda ev: ev.objective)
+
+    def best_runtime(self) -> float:
+        """Run time of the best configuration found (NaN if none succeeded)."""
+        best = self.best()
+        return best.runtime if best is not None else float("nan")
+
+    def incumbent_trajectory(self) -> List[Tuple[float, float]]:
+        """Best run time as a function of search time.
+
+        Returns a list of ``(completion_time, best_runtime_so_far)`` points,
+        one per successful evaluation that improved the incumbent — the series
+        plotted in Fig. 3.
+        """
+        points: List[Tuple[float, float]] = []
+        best = float("inf")
+        for ev in sorted(self._evaluations, key=lambda e: e.completed):
+            if ev.failed:
+                continue
+            if ev.runtime < best:
+                best = ev.runtime
+                points.append((ev.completed, best))
+        return points
+
+    def best_runtime_at(self, time: float) -> float:
+        """Best run time known at a given search time (inf if none yet)."""
+        best = float("inf")
+        for ev in self._evaluations:
+            if not ev.failed and ev.completed <= time and ev.runtime < best:
+                best = ev.runtime
+        return best
+
+    # ------------------------------------------------------ transfer learning
+    def top_quantile(self, q: float = 0.10) -> List[Configuration]:
+        """Configurations in the top ``q`` fraction by objective (Algorithm 1, l.1).
+
+        Parameters
+        ----------
+        q:
+            Fraction of successful evaluations to keep, in (0, 1].
+        """
+        if not (0.0 < q <= 1.0):
+            raise ValueError("q must be in (0, 1]")
+        ok = self.successful()
+        if not ok:
+            return []
+        objectives = np.asarray([ev.objective for ev in ok], dtype=float)
+        threshold = np.quantile(objectives, 1.0 - q)
+        selected = [ev.configuration for ev in ok if ev.objective >= threshold]
+        # Always return at least one configuration (the best one).
+        if not selected:
+            selected = [max(ok, key=lambda ev: ev.objective).configuration]
+        return selected
+
+    # -------------------------------------------------------------------- csv
+    CSV_META_COLUMNS = ("eval_id", "worker", "submitted", "completed", "runtime", "objective")
+
+    def to_csv(self, path: Union[str, Path, None] = None) -> str:
+        """Serialise the history to CSV (one row per evaluation).
+
+        Returns the CSV text; when ``path`` is given the text is also written
+        to that file.
+        """
+        buffer = io.StringIO()
+        fieldnames = list(self.CSV_META_COLUMNS) + list(self.space.parameter_names)
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+        writer.writeheader()
+        for ev in self._evaluations:
+            row = {
+                "eval_id": ev.eval_id,
+                "worker": ev.worker,
+                "submitted": f"{ev.submitted:.6f}",
+                "completed": f"{ev.completed:.6f}",
+                "runtime": f"{ev.runtime:.6f}" if math.isfinite(ev.runtime) else "nan",
+                "objective": f"{ev.objective:.6f}" if math.isfinite(ev.objective) else "nan",
+            }
+            for name in self.space.parameter_names:
+                row[name] = ev.configuration.get(name, "")
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_csv(
+        cls,
+        source: Union[str, Path],
+        space: SearchSpace,
+        objective: Optional[Objective] = None,
+    ) -> "SearchHistory":
+        """Load a history from CSV text or a CSV file path."""
+        text = source
+        if isinstance(source, Path) or (
+            isinstance(source, str) and "\n" not in source and Path(source).exists()
+        ):
+            text = Path(source).read_text()
+        history = cls(space, objective=objective)
+        reader = csv.DictReader(io.StringIO(str(text)))
+        for row in reader:
+            config = {}
+            for param in space:
+                raw = row[param.name]
+                config[param.name] = _parse_value(raw)
+            history.append(
+                Evaluation(
+                    configuration=config,
+                    objective=float(row["objective"]),
+                    runtime=float(row["runtime"]),
+                    submitted=float(row["submitted"]),
+                    completed=float(row["completed"]),
+                    worker=int(row["worker"]),
+                    eval_id=int(row["eval_id"]),
+                )
+            )
+        return history
+
+
+def _parse_value(raw: str):
+    """Parse a CSV cell back into bool / int / float / str."""
+    text = raw.strip()
+    if text in ("True", "False"):
+        return text == "True"
+    try:
+        as_int = int(text)
+        return as_int
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text

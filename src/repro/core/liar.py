@@ -1,0 +1,158 @@
+"""Multi-point proposal via the constant-liar strategy.
+
+Asynchronous BO must hand out several configurations at once (one per idle
+worker).  The paper uses the constant-liar strategy (Ginsbourger et al.): after
+selecting the best candidate by the acquisition function, the model is updated
+with that candidate and a "lie" equal to the worst objective collected so far,
+which pushes the next selection away from the already-chosen region; the
+process repeats until enough configurations have been generated.
+
+Two implementations are provided:
+
+* ``strategy="refit"`` — the literal algorithm: the surrogate copy is refitted
+  with the lie after every pick.  Exact but expensive for large batches.
+* ``strategy="kernel_penalty"`` (default) — a fast approximation: instead of
+  refitting, the acquisition scores of candidates close (in unit-hypercube
+  distance) to an already-picked candidate are reduced by the amount the lie
+  would have reduced them (their exploration bonus collapses and their mean is
+  pulled toward the lie).  This preserves the diversification effect at a cost
+  independent of the batch size, which matters because the virtual-time
+  experiments hand out batches of up to 128 configurations.
+
+The deviation is documented in DESIGN.md; the ``refit`` strategy is available
+for exact reproduction and is exercised by the test suite and an ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.acquisition import UCBAcquisition
+from repro.core.surrogate.base import Surrogate
+
+__all__ = ["ConstantLiar"]
+
+
+class ConstantLiar:
+    """Select a batch of candidate indices using the constant-liar strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"kernel_penalty"`` (fast approximation, default) or ``"refit"``
+        (literal constant liar).
+    penalty_length_scale:
+        Neighbourhood radius (in unit-hypercube distance per dimension) of the
+        kernel penalty.
+    """
+
+    def __init__(self, strategy: str = "kernel_penalty", penalty_length_scale: float = 0.15):
+        if strategy not in ("kernel_penalty", "refit"):
+            raise ValueError(f"unknown liar strategy {strategy!r}")
+        if penalty_length_scale <= 0:
+            raise ValueError("penalty_length_scale must be positive")
+        self.strategy = strategy
+        self.penalty_length_scale = penalty_length_scale
+
+    def select(
+        self,
+        n: int,
+        surrogate: Surrogate,
+        acquisition: UCBAcquisition,
+        candidates_encoded: np.ndarray,
+        candidates_unit: np.ndarray,
+        train_X: np.ndarray,
+        train_y: np.ndarray,
+    ) -> List[int]:
+        """Return the indices of ``n`` selected candidates.
+
+        Parameters
+        ----------
+        n:
+            Number of configurations to select (the number of idle workers).
+        surrogate:
+            The fitted surrogate model.
+        acquisition:
+            The UCB acquisition.
+        candidates_encoded:
+            Candidate matrix in the surrogate's encoding.
+        candidates_unit:
+            Candidate matrix in the unit hypercube (used for the kernel
+            penalty distances).
+        train_X, train_y:
+            Current training data (needed by the ``refit`` strategy).
+        """
+        if n <= 0:
+            return []
+        num_candidates = candidates_encoded.shape[0]
+        n = min(n, num_candidates)
+        if self.strategy == "refit":
+            return self._select_refit(
+                n, surrogate, acquisition, candidates_encoded, train_X, train_y
+            )
+        return self._select_kernel_penalty(
+            n, surrogate, acquisition, candidates_encoded, candidates_unit
+        )
+
+    # ------------------------------------------------------------------ exact
+    def _select_refit(
+        self,
+        n: int,
+        surrogate: Surrogate,
+        acquisition: UCBAcquisition,
+        candidates_encoded: np.ndarray,
+        train_X: np.ndarray,
+        train_y: np.ndarray,
+    ) -> List[int]:
+        lie = float(np.min(train_y)) if train_y.size else 0.0
+        model = copy.deepcopy(surrogate)
+        X_aug = np.array(train_X, dtype=float)
+        y_aug = np.array(train_y, dtype=float)
+        selected: List[int] = []
+        available = np.ones(candidates_encoded.shape[0], dtype=bool)
+        for _ in range(n):
+            mean, std = model.predict(candidates_encoded)
+            scores = acquisition(mean, std)
+            scores[~available] = -np.inf
+            pick = int(np.argmax(scores))
+            selected.append(pick)
+            available[pick] = False
+            X_aug = np.vstack([X_aug, candidates_encoded[pick : pick + 1]])
+            y_aug = np.append(y_aug, lie)
+            model = copy.deepcopy(surrogate)
+            model.fit(X_aug, y_aug)
+        return selected
+
+    # ---------------------------------------------------------- approximation
+    def _select_kernel_penalty(
+        self,
+        n: int,
+        surrogate: Surrogate,
+        acquisition: UCBAcquisition,
+        candidates_encoded: np.ndarray,
+        candidates_unit: np.ndarray,
+    ) -> List[int]:
+        mean, std = surrogate.predict(candidates_encoded)
+        scores = acquisition(mean, std)
+        # Magnitude of the penalty: collapsing the confidence bonus plus
+        # pulling the mean toward the worst observation is, at the selected
+        # point itself, roughly the candidate's full score range.
+        span = float(np.max(scores) - np.min(scores)) if scores.size > 1 else 1.0
+        span = max(span, 1e-9)
+        length2 = (self.penalty_length_scale**2) * candidates_unit.shape[1]
+        selected: List[int] = []
+        available = np.ones(candidates_encoded.shape[0], dtype=bool)
+        working = scores.copy()
+        for _ in range(n):
+            masked = np.where(available, working, -np.inf)
+            pick = int(np.argmax(masked))
+            selected.append(pick)
+            available[pick] = False
+            # Discourage candidates near the pick, proportionally to proximity.
+            d2 = np.sum((candidates_unit - candidates_unit[pick]) ** 2, axis=1)
+            working = working - span * np.exp(-0.5 * d2 / length2)
+        return selected

@@ -1,0 +1,92 @@
+"""Objective definitions.
+
+DeepHyper maximises the objective it is given; the paper minimises the HEP
+workflow run time by maximising ``-log(runtime)`` (§III-C): the logarithm lets
+the search discriminate between small run times, and failed or timed-out
+evaluations return NaN.
+
+:class:`Objective` encapsulates this transformation so that every component
+(search, history, metrics) can convert between *objective space* (maximised)
+and *run-time space* (minimised, what the figures report) without sprinkling
+sign conventions around the code base.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["Objective", "runtime_objective", "FAILURE_OBJECTIVE"]
+
+#: Objective value recorded for failed evaluations when a numeric placeholder
+#: is required (e.g. to keep surrogate training data rectangular).  Chosen far
+#: below any realistic ``-log(runtime)`` value.
+FAILURE_OBJECTIVE = -25.0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A maximised objective derived from a measured run time.
+
+    Parameters
+    ----------
+    use_log:
+        If True (paper default) the objective is ``-log(runtime)``; otherwise
+        it is ``-runtime``.
+    failure_value:
+        Numeric stand-in for NaN objectives when a finite value is needed
+        (model fitting); NaN is preserved in the recorded history.
+    """
+
+    use_log: bool = True
+    failure_value: float = FAILURE_OBJECTIVE
+
+    # ------------------------------------------------------------ conversions
+    def from_runtime(self, runtime: float) -> float:
+        """Objective value of a measured run time (NaN maps to NaN)."""
+        if runtime is None or not math.isfinite(runtime) or runtime <= 0:
+            return float("nan")
+        return -math.log(runtime) if self.use_log else -runtime
+
+    def to_runtime(self, objective: float) -> float:
+        """Run time corresponding to an objective value (NaN maps to NaN)."""
+        if objective is None or not math.isfinite(objective):
+            return float("nan")
+        return math.exp(-objective) if self.use_log else -objective
+
+    def fill_failure(self, objective: float) -> float:
+        """Replace NaN objectives with the finite failure placeholder."""
+        if objective is None or not math.isfinite(objective):
+            return self.failure_value
+        return float(objective)
+
+    def is_failure(self, objective: float) -> bool:
+        """Whether an objective value corresponds to a failed evaluation."""
+        return objective is None or not math.isfinite(objective)
+
+
+def runtime_objective(
+    evaluate: Callable[[dict], float],
+    objective: Optional[Objective] = None,
+) -> Callable[[dict], float]:
+    """Wrap a run-time evaluator into a maximised objective function.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable mapping a configuration to a run time in seconds (NaN on
+        failure).
+    objective:
+        The :class:`Objective` transform (defaults to ``-log(runtime)``).
+
+    Returns
+    -------
+    Callable mapping a configuration to the maximised objective value.
+    """
+    transform = objective or Objective()
+
+    def wrapped(configuration: dict) -> float:
+        return transform.from_runtime(evaluate(configuration))
+
+    return wrapped

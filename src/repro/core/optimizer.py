@@ -1,0 +1,259 @@
+"""The ask/tell Bayesian optimizer (sampling-based, §III-A).
+
+One optimizer instance drives one autotuning run.  Its lifecycle mirrors
+Algorithm 1's optimization loop:
+
+* :meth:`ask` — sample a large number of candidate configurations from the
+  prior (uniform/log-uniform by default, the VAE-based informative prior when
+  transfer learning is enabled), score them with the surrogate model through
+  the UCB acquisition, and return a batch chosen by the constant-liar
+  strategy.  Before enough data has been collected the optimizer simply
+  returns prior samples (the initialisation phase).
+* :meth:`tell` — record completed evaluations and refit the surrogate.
+
+The optimizer measures the wall-clock time spent fitting the surrogate and
+generating candidates (:attr:`last_tell_duration`, :attr:`last_ask_duration`)
+so the virtual-time search can charge a "measured" manager overhead; an
+analytic overhead model is also available (:mod:`repro.core.overhead`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.acquisition import DEFAULT_KAPPA, UCBAcquisition
+from repro.core.liar import ConstantLiar
+from repro.core.objective import Objective
+from repro.core.priors import IndependentPrior, JointPrior
+from repro.core.space import CategoricalParameter, Configuration, SearchSpace
+from repro.core.surrogate import (
+    ConstantSurrogate,
+    GaussianProcessSurrogate,
+    RandomForestSurrogate,
+    Surrogate,
+)
+
+__all__ = ["BayesianOptimizer", "make_surrogate"]
+
+
+def make_surrogate(kind: Union[str, Surrogate], seed: int = 0) -> Surrogate:
+    """Build a surrogate from its name ("RF", "GP", "RAND") or pass through."""
+    if isinstance(kind, Surrogate):
+        return kind
+    name = str(kind).upper()
+    if name in ("RF", "RANDOM_FOREST", "RANDOMFOREST"):
+        return RandomForestSurrogate(seed=seed)
+    if name in ("GP", "GAUSSIAN_PROCESS", "GAUSSIANPROCESS"):
+        return GaussianProcessSurrogate()
+    if name in ("RAND", "RANDOM", "DUMMY", "NONE"):
+        return ConstantSurrogate()
+    raise ValueError(f"unknown surrogate kind {kind!r} (expected RF, GP or RAND)")
+
+
+class BayesianOptimizer:
+    """Sampling-based Bayesian optimizer over a mixed search space.
+
+    Parameters
+    ----------
+    space:
+        The search space.
+    surrogate:
+        Surrogate model or its name ("RF", "GP", "RAND").
+    prior:
+        Joint prior used to generate candidate configurations; defaults to the
+        space's independent uniform/log-uniform prior.  Transfer learning
+        replaces this with the VAE-based informative prior.
+    kappa:
+        UCB exploration weight (paper default 1.96).
+    num_candidates:
+        Number of candidate configurations sampled per :meth:`ask`.
+    n_initial_points:
+        Number of evaluations before the surrogate is trusted; until then
+        :meth:`ask` returns prior samples.
+    encoding:
+        "numeric" (ordinal, used by tree models) or "one_hot" (used by the
+        GP).  "auto" picks per surrogate type.
+    liar_strategy:
+        Constant-liar flavour ("kernel_penalty" or "refit").
+    random_sampling:
+        If True, :meth:`ask` never uses the surrogate (the paper's RAND
+        baseline).
+    refit_interval:
+        Minimum number of *new* observations between surrogate refits.  The
+        default (1) refits on every ``tell`` as DeepHyper does; larger values
+        trade a slightly staler model for faster campaign wall-clock time in
+        the large reproduction sweeps (the charged *search-time* overhead is
+        unaffected — see :mod:`repro.core.overhead`).
+    seed:
+        Seed of the optimizer's RNG.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        surrogate: Union[str, Surrogate] = "RF",
+        prior: Optional[JointPrior] = None,
+        kappa: float = DEFAULT_KAPPA,
+        num_candidates: int = 512,
+        n_initial_points: int = 10,
+        encoding: str = "auto",
+        liar_strategy: str = "kernel_penalty",
+        random_sampling: bool = False,
+        refit_interval: int = 1,
+        objective: Optional[Objective] = None,
+        seed: int = 0,
+    ):
+        if num_candidates < 1:
+            raise ValueError("num_candidates must be >= 1")
+        if n_initial_points < 1:
+            raise ValueError("n_initial_points must be >= 1")
+        self.space = space
+        self.surrogate = make_surrogate(surrogate, seed=seed)
+        self.prior = prior if prior is not None else IndependentPrior(space)
+        self.acquisition = UCBAcquisition(kappa=kappa)
+        self.num_candidates = int(num_candidates)
+        self.n_initial_points = int(n_initial_points)
+        self.liar = ConstantLiar(strategy=liar_strategy)
+        self.random_sampling = bool(random_sampling)
+        if refit_interval < 1:
+            raise ValueError("refit_interval must be >= 1")
+        self.refit_interval = int(refit_interval)
+        self._new_since_fit = 0
+        self.objective = objective or Objective()
+        self.rng = np.random.default_rng(seed)
+
+        if encoding == "auto":
+            encoding = (
+                "one_hot"
+                if isinstance(self.surrogate, GaussianProcessSurrogate)
+                else "numeric"
+            )
+        if encoding not in ("numeric", "one_hot"):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        self.encoding = encoding
+
+        self._configs: List[Configuration] = []
+        self._objectives: List[float] = []
+        self._evaluated_keys: set = set()
+        self.last_tell_duration = 0.0
+        self.last_ask_duration = 0.0
+        self.num_fits = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_observations(self) -> int:
+        """Number of evaluations told to the optimizer so far."""
+        return len(self._configs)
+
+    def _encode(self, configs: Sequence[Configuration]) -> np.ndarray:
+        if self.encoding == "one_hot":
+            return self.space.to_one_hot_array(configs)
+        return self.space.to_numeric_array(configs)
+
+    @staticmethod
+    def _key(config: Configuration) -> tuple:
+        return tuple(sorted((k, repr(v)) for k, v in config.items()))
+
+    # ------------------------------------------------------------------- tell
+    def tell(self, configurations: Sequence[Configuration], objectives: Sequence[float]) -> None:
+        """Record completed evaluations and refit the surrogate.
+
+        ``objectives`` are maximised values; NaN marks failures and is
+        replaced by the objective's failure placeholder for model fitting.
+        """
+        if len(configurations) != len(objectives):
+            raise ValueError("configurations and objectives must have equal length")
+        if not configurations:
+            return
+        start = time.perf_counter()
+        for config, obj in zip(configurations, objectives):
+            self._configs.append(dict(config))
+            self._objectives.append(self.objective.fill_failure(obj))
+            self._evaluated_keys.add(self._key(config))
+            self._new_since_fit += 1
+        should_fit = (
+            not self.random_sampling
+            and self.num_observations >= self.n_initial_points
+            and (not self.surrogate.fitted or self._new_since_fit >= self.refit_interval)
+        )
+        if should_fit:
+            X = self._encode(self._configs)
+            y = np.asarray(self._objectives, dtype=float)
+            self.surrogate.fit(X, y)
+            self.num_fits += 1
+            self._new_since_fit = 0
+        self.last_tell_duration = time.perf_counter() - start
+
+    # -------------------------------------------------------------------- ask
+    def ask(self, n: int = 1) -> List[Configuration]:
+        """Propose ``n`` configurations for evaluation."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        start = time.perf_counter()
+        use_model = (
+            not self.random_sampling
+            and self.surrogate.fitted
+            and self.num_observations >= self.n_initial_points
+        )
+        if not use_model:
+            proposals = self._sample_unique(n)
+            self.last_ask_duration = time.perf_counter() - start
+            return proposals
+
+        # Candidate generation from the (possibly informative) prior.
+        candidates = self.space.sample(self.num_candidates, self.rng, prior=self.prior)
+        # Filter out configurations already evaluated.
+        fresh = [c for c in candidates if self._key(c) not in self._evaluated_keys]
+        if len(fresh) < n:
+            fresh.extend(self._sample_unique(n - len(fresh)))
+        encoded = self._encode(fresh)
+        unit = self.space.to_unit_array(fresh)
+        train_X = self._encode(self._configs)
+        train_y = np.asarray(self._objectives, dtype=float)
+        indices = self.liar.select(
+            n,
+            surrogate=self.surrogate,
+            acquisition=self.acquisition,
+            candidates_encoded=encoded,
+            candidates_unit=unit,
+            train_X=train_X,
+            train_y=train_y,
+        )
+        proposals = [fresh[i] for i in indices]
+        self.last_ask_duration = time.perf_counter() - start
+        return proposals
+
+    def _sample_unique(self, n: int) -> List[Configuration]:
+        """Sample ``n`` prior configurations, avoiding duplicates if possible."""
+        proposals: List[Configuration] = []
+        attempts = 0
+        while len(proposals) < n and attempts < 20:
+            batch = self.space.sample(max(n, 8), self.rng, prior=self.prior)
+            for config in batch:
+                if len(proposals) >= n:
+                    break
+                if self._key(config) not in self._evaluated_keys:
+                    proposals.append(config)
+            attempts += 1
+        while len(proposals) < n:
+            proposals.extend(self.space.sample(n - len(proposals), self.rng, prior=self.prior))
+        return proposals[:n]
+
+    # ------------------------------------------------------------------- best
+    def best(self) -> Optional[Configuration]:
+        """The best configuration told so far (None before any tell)."""
+        if not self._configs:
+            return None
+        idx = int(np.argmax(self._objectives))
+        return self._configs[idx]
+
+    def categorical_column_indices(self) -> List[int]:
+        """Indices of categorical columns in the numeric encoding (for TPE)."""
+        return [
+            j
+            for j, p in enumerate(self.space.parameters)
+            if isinstance(p, CategoricalParameter)
+        ]

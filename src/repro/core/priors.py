@@ -1,0 +1,230 @@
+"""Sampling priors over parameters and configurations.
+
+Bayesian optimization in the paper samples candidate configurations from a
+*prior* distribution over the search space:
+
+* without transfer learning, the prior is the user-defined one — uniform or
+  log-uniform per parameter (Section III-B, "Typically, BO starts with
+  user-defined prior distributions");
+* with transfer learning, the prior is *informative*: a tabular VAE fitted on
+  the top-q% configurations of a previous run (see
+  :mod:`repro.core.transfer`), combined with uninformative priors for any
+  parameter that did not exist in the previous space (Algorithm 1, l. 3-10).
+
+This module provides the per-parameter priors, the independent joint prior,
+and a mixture wrapper used to blend an informative prior with a fraction of
+uniform exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.space import (
+    CategoricalParameter,
+    Configuration,
+    IntegerParameter,
+    OrdinalParameter,
+    Parameter,
+    RealParameter,
+    SearchSpace,
+)
+
+__all__ = [
+    "ParameterPrior",
+    "UniformPrior",
+    "LogUniformPrior",
+    "CategoricalPrior",
+    "JointPrior",
+    "IndependentPrior",
+    "MixturePrior",
+    "default_prior",
+]
+
+
+class ParameterPrior:
+    """Base class: a distribution over a single parameter's values."""
+
+    def __init__(self, parameter: Parameter):
+        self.parameter = parameter
+
+    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+        """Draw ``n`` values."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.parameter.name!r})"
+
+
+class UniformPrior(ParameterPrior):
+    """Uniform prior over the parameter's domain (Algorithm 1, l. 6)."""
+
+    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+        p = self.parameter
+        if isinstance(p, (RealParameter, IntegerParameter)):
+            lows, highs = p.low, p.high
+            if isinstance(p, RealParameter):
+                return [float(v) for v in rng.uniform(lows, highs, size=n)]
+            return [int(v) for v in rng.integers(lows, highs + 1, size=n)]
+        # categorical / ordinal: uniform over categories.
+        return list(p.sample(rng, size=n))
+
+
+class LogUniformPrior(ParameterPrior):
+    """Log-uniform prior (used for batch-size-like parameters in Fig. 1)."""
+
+    def __init__(self, parameter: Parameter):
+        super().__init__(parameter)
+        if not isinstance(parameter, (RealParameter, IntegerParameter)):
+            raise TypeError("LogUniformPrior requires a numeric parameter")
+        if parameter.low <= 0:
+            raise ValueError("LogUniformPrior requires a positive lower bound")
+
+    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+        p = self.parameter
+        lo, hi = np.log(p.low), np.log(p.high)
+        raw = np.exp(rng.uniform(lo, hi, size=n))
+        if isinstance(p, IntegerParameter):
+            return [int(min(p.high, max(p.low, round(v)))) for v in raw]
+        return [float(v) for v in raw]
+
+
+class CategoricalPrior(ParameterPrior):
+    """Multinoulli prior over categories (Algorithm 1, l. 8).
+
+    Parameters
+    ----------
+    parameter:
+        A categorical or ordinal parameter.
+    probabilities:
+        Per-category probabilities.  Defaults to uniform.
+    """
+
+    def __init__(
+        self,
+        parameter: Parameter,
+        probabilities: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(parameter)
+        if isinstance(parameter, CategoricalParameter):
+            values = parameter.categories
+        elif isinstance(parameter, OrdinalParameter):
+            values = parameter.values
+        else:
+            raise TypeError("CategoricalPrior requires a categorical/ordinal parameter")
+        self.values = tuple(values)
+        if probabilities is None:
+            probabilities = [1.0 / len(self.values)] * len(self.values)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (len(self.values),):
+            raise ValueError(
+                f"need {len(self.values)} probabilities, got {probabilities.shape}"
+            )
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("probabilities must not all be zero")
+        self.probabilities = probabilities / total
+
+    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+        idx = rng.choice(len(self.values), size=n, p=self.probabilities)
+        return [self.values[int(i)] for i in idx]
+
+
+class JointPrior:
+    """Base class for joint distributions over whole configurations."""
+
+    space: SearchSpace
+
+    def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        """Draw ``n`` full configurations of :attr:`space`."""
+        raise NotImplementedError
+
+
+class IndependentPrior(JointPrior):
+    """A joint prior that samples each parameter independently.
+
+    Parameters
+    ----------
+    space:
+        The search space the prior covers.
+    priors:
+        Optional mapping from parameter name to :class:`ParameterPrior`.
+        Parameters without an entry use their default prior
+        (:func:`default_prior`).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        priors: Optional[Mapping[str, ParameterPrior]] = None,
+    ):
+        self.space = space
+        self._priors: Dict[str, ParameterPrior] = {}
+        priors = dict(priors or {})
+        for p in space:
+            prior = priors.pop(p.name, None)
+            self._priors[p.name] = prior if prior is not None else default_prior(p)
+        if priors:
+            raise ValueError(f"priors given for unknown parameters: {sorted(priors)}")
+
+    def prior_for(self, name: str) -> ParameterPrior:
+        """The per-parameter prior for ``name``."""
+        return self._priors[name]
+
+    def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        if n <= 0:
+            return []
+        columns = {name: prior.sample(n, rng) for name, prior in self._priors.items()}
+        return [
+            {name: columns[name][i] for name in self.space.parameter_names}
+            for i in range(n)
+        ]
+
+
+class MixturePrior(JointPrior):
+    """A mixture of joint priors, sampled with fixed weights.
+
+    Used to blend an informative (VAE) prior with a small fraction of uniform
+    exploration so that the biased search retains non-zero support over the
+    whole space.
+    """
+
+    def __init__(self, components: Sequence[JointPrior], weights: Sequence[float]):
+        if len(components) != len(weights) or not components:
+            raise ValueError("components and weights must be non-empty and equal length")
+        weights = np.asarray(weights, dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        self.components = list(components)
+        self.weights = weights / weights.sum()
+        self.space = components[0].space
+
+    def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        if n <= 0:
+            return []
+        counts = rng.multinomial(n, self.weights)
+        configs: List[Configuration] = []
+        for component, count in zip(self.components, counts):
+            if count > 0:
+                configs.extend(component.sample_configurations(int(count), rng))
+        rng.shuffle(configs)
+        return configs
+
+
+def default_prior(parameter: Parameter) -> ParameterPrior:
+    """The user-defined (uninformative) prior for a parameter.
+
+    Log-uniform for numeric parameters declared ``log=True``, uniform
+    otherwise, multinoulli-uniform for categorical/ordinal parameters.
+    """
+    if isinstance(parameter, (RealParameter, IntegerParameter)):
+        if parameter.log:
+            return LogUniformPrior(parameter)
+        return UniformPrior(parameter)
+    if isinstance(parameter, (CategoricalParameter, OrdinalParameter)):
+        return CategoricalPrior(parameter)
+    return UniformPrior(parameter)

@@ -1,0 +1,614 @@
+"""Mixed integer / real / categorical parameter search spaces.
+
+The paper (Eq. 1) formulates autotuning as a black-box mixed-integer nonlinear
+program over a vector ``x = (x_I, x_R, x_C)`` of integer, real and categorical
+parameters.  This module provides the corresponding space description:
+
+* :class:`IntegerParameter` — ordered integer parameter, uniform or
+  log-uniform sampling (e.g. ``WriteBatchSize`` in [1, 2048], log-uniform).
+* :class:`RealParameter` — continuous parameter, uniform or log-uniform.
+* :class:`CategoricalParameter` — unordered categories
+  (e.g. ``ThreadPoolType`` in {fifo, fifo_wait, prio_wait}; booleans are
+  categoricals with categories ``(False, True)``).
+* :class:`OrdinalParameter` — an explicit ordered list of allowed values
+  (e.g. ``PESperNode`` in {1, 2, 4, 8, 16, 32}).
+* :class:`SearchSpace` — an ordered collection of parameters with sampling,
+  validation, and numeric encodings used by the surrogate models.
+
+Configurations are plain ``dict`` objects mapping parameter names to values
+(alias :data:`Configuration`), which keeps the public API ergonomic and makes
+CSV round-tripping trivial.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Configuration",
+    "Parameter",
+    "IntegerParameter",
+    "RealParameter",
+    "CategoricalParameter",
+    "OrdinalParameter",
+    "SearchSpace",
+]
+
+#: A configuration is a mapping from parameter name to value.
+Configuration = Dict[str, Any]
+
+
+class Parameter(ABC):
+    """Abstract base class for a single tunable parameter.
+
+    Parameters are hashable by name and provide three views of their domain:
+
+    * native values (what the evaluated workflow consumes),
+    * the unit interval ``[0, 1]`` (what the samplers and the VAE consume),
+    * a numeric surrogate encoding (what the regression models consume).
+    """
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"parameter name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    # ------------------------------------------------------------------- api
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw value(s) from the parameter's default (uninformative) prior."""
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` is a legal value for this parameter."""
+
+    @abstractmethod
+    def to_unit(self, value: Any) -> float:
+        """Map a native value to the unit interval [0, 1]."""
+
+    @abstractmethod
+    def from_unit(self, u: float) -> Any:
+        """Map a unit-interval position back to a native value."""
+
+    @property
+    @abstractmethod
+    def cardinality(self) -> float:
+        """Number of distinct values (``inf`` for continuous parameters)."""
+
+    # ------------------------------------------------------------- comparison
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Parameter):
+            return NotImplemented
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def _log_low_high(low: float, high: float) -> Tuple[float, float]:
+    if low <= 0:
+        raise ValueError("log-uniform parameters require a strictly positive lower bound")
+    return math.log(low), math.log(high)
+
+
+class RealParameter(Parameter):
+    """A continuous parameter on ``[low, high]``.
+
+    Parameters
+    ----------
+    name:
+        Parameter name.
+    low, high:
+        Inclusive bounds.
+    log:
+        If True, default sampling is log-uniform on the bounds.
+    """
+
+    kind = "real"
+
+    def __init__(self, name: str, low: float, high: float, log: bool = False):
+        super().__init__(name)
+        if not (high > low):
+            raise ValueError(f"{name}: require high > low, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self.log = bool(log)
+        if self.log:
+            _log_low_high(self.low, self.high)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        u = rng.random(size)
+        if size is None:
+            return self.from_unit(float(u))
+        return np.asarray([self.from_unit(float(v)) for v in np.atleast_1d(u)])
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return self.low <= v <= self.high
+
+    def to_unit(self, value: Any) -> float:
+        v = float(value)
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            return (math.log(max(v, self.low)) - lo) / (hi - lo)
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(1.0, max(0.0, float(u)))
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            value = float(math.exp(lo + u * (hi - lo)))
+        else:
+            value = float(self.low + u * (self.high - self.low))
+        # Clamp away floating-point overshoot (exp(log(high)) can exceed high).
+        return min(self.high, max(self.low, value))
+
+    @property
+    def cardinality(self) -> float:
+        return float("inf")
+
+    def __repr__(self) -> str:
+        tag = ", log" if self.log else ""
+        return f"RealParameter({self.name!r}, [{self.low}, {self.high}]{tag})"
+
+
+class IntegerParameter(Parameter):
+    """An integer parameter on ``[low, high]`` (inclusive).
+
+    Parameters
+    ----------
+    name:
+        Parameter name.
+    low, high:
+        Inclusive integer bounds.
+    log:
+        If True, default sampling is log-uniform (rounded to integers), as used
+        for batch-size-like parameters in the paper (Fig. 1).
+    """
+
+    kind = "integer"
+
+    def __init__(self, name: str, low: int, high: int, log: bool = False):
+        super().__init__(name)
+        if int(low) != low or int(high) != high:
+            raise ValueError(f"{name}: integer bounds required, got [{low}, {high}]")
+        if not (high > low):
+            raise ValueError(f"{name}: require high > low, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+        self.log = bool(log)
+        if self.log:
+            _log_low_high(self.low, self.high)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        u = rng.random(size)
+        if size is None:
+            return self.from_unit(float(u))
+        return np.asarray([self.from_unit(float(v)) for v in np.atleast_1d(u)], dtype=int)
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return v == int(v) and self.low <= int(v) <= self.high
+
+    def to_unit(self, value: Any) -> float:
+        v = float(value)
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            return (math.log(max(v, self.low)) - lo) / (hi - lo)
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        u = min(1.0, max(0.0, float(u)))
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            raw = math.exp(lo + u * (hi - lo))
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return int(min(self.high, max(self.low, round(raw))))
+
+    @property
+    def cardinality(self) -> float:
+        return float(self.high - self.low + 1)
+
+    def __repr__(self) -> str:
+        tag = ", log" if self.log else ""
+        return f"IntegerParameter({self.name!r}, [{self.low}, {self.high}]{tag})"
+
+
+class CategoricalParameter(Parameter):
+    """An unordered categorical parameter.
+
+    Parameters
+    ----------
+    name:
+        Parameter name.
+    categories:
+        Sequence of allowed values (order only matters for encoding).
+    """
+
+    kind = "categorical"
+
+    def __init__(self, name: str, categories: Sequence[Any]):
+        super().__init__(name)
+        cats = list(categories)
+        if len(cats) < 2:
+            raise ValueError(f"{name}: need at least two categories")
+        if len(set(map(repr, cats))) != len(cats):
+            raise ValueError(f"{name}: duplicate categories {cats!r}")
+        self.categories: Tuple[Any, ...] = tuple(cats)
+
+    @classmethod
+    def boolean(cls, name: str) -> "CategoricalParameter":
+        """Convenience constructor for a True/False parameter."""
+        return cls(name, (False, True))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        idx = rng.integers(0, len(self.categories), size=size)
+        if size is None:
+            return self.categories[int(idx)]
+        return np.asarray([self.categories[int(i)] for i in np.atleast_1d(idx)], dtype=object)
+
+    def contains(self, value: Any) -> bool:
+        return any(value == c and type(value) is type(c) or value == c for c in self.categories)
+
+    def index_of(self, value: Any) -> int:
+        """Index of ``value`` in the category tuple."""
+        for i, c in enumerate(self.categories):
+            if value == c:
+                return i
+        raise ValueError(f"{value!r} is not a category of {self.name}")
+
+    def to_unit(self, value: Any) -> float:
+        n = len(self.categories)
+        return (self.index_of(value) + 0.5) / n
+
+    def from_unit(self, u: float) -> Any:
+        u = min(1.0, max(0.0, float(u)))
+        n = len(self.categories)
+        idx = min(n - 1, int(u * n))
+        return self.categories[idx]
+
+    @property
+    def cardinality(self) -> float:
+        return float(len(self.categories))
+
+    def __repr__(self) -> str:
+        return f"CategoricalParameter({self.name!r}, {list(self.categories)!r})"
+
+
+class OrdinalParameter(Parameter):
+    """An ordered discrete parameter with an explicit value list.
+
+    Used for parameters such as ``PESperNode`` whose domain is {1, 2, 4, 8,
+    16, 32}: the values have a natural ordering but are not contiguous
+    integers.
+    """
+
+    kind = "ordinal"
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        super().__init__(name)
+        vals = list(values)
+        if len(vals) < 2:
+            raise ValueError(f"{name}: need at least two values")
+        if sorted(vals) != vals:
+            raise ValueError(f"{name}: ordinal values must be sorted, got {vals!r}")
+        if len(set(vals)) != len(vals):
+            raise ValueError(f"{name}: duplicate values {vals!r}")
+        self.values: Tuple[Any, ...] = tuple(vals)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        idx = rng.integers(0, len(self.values), size=size)
+        if size is None:
+            return self.values[int(idx)]
+        return np.asarray([self.values[int(i)] for i in np.atleast_1d(idx)])
+
+    def contains(self, value: Any) -> bool:
+        return any(value == v for v in self.values)
+
+    def index_of(self, value: Any) -> int:
+        """Index of ``value`` in the ordered value tuple."""
+        for i, v in enumerate(self.values):
+            if value == v:
+                return i
+        raise ValueError(f"{value!r} is not a value of {self.name}")
+
+    def to_unit(self, value: Any) -> float:
+        n = len(self.values)
+        return (self.index_of(value) + 0.5) / n
+
+    def from_unit(self, u: float) -> Any:
+        u = min(1.0, max(0.0, float(u)))
+        n = len(self.values)
+        idx = min(n - 1, int(u * n))
+        return self.values[idx]
+
+    @property
+    def cardinality(self) -> float:
+        return float(len(self.values))
+
+    def __repr__(self) -> str:
+        return f"OrdinalParameter({self.name!r}, {list(self.values)!r})"
+
+
+class SearchSpace:
+    """An ordered collection of :class:`Parameter` objects.
+
+    The space provides:
+
+    * random sampling of configurations (optionally from a
+      :class:`~repro.core.priors.JointPrior`),
+    * validation of configurations,
+    * numeric encodings for the surrogate models (ordinal encoding and
+      one-hot encoding), and
+    * unit-cube encodings for the VAE and for distance computations.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of :class:`Parameter`.  Order defines the encoding order.
+    name:
+        Optional label (e.g. ``"4n-2s-20p"``).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], name: str = ""):
+        params = list(parameters)
+        if not params:
+            raise ValueError("a search space needs at least one parameter")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+        self._params: List[Parameter] = params
+        self._by_name: Dict[str, Parameter] = {p.name: p for p in params}
+        self.name = name
+
+    # ---------------------------------------------------------------- dunders
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._by_name[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SearchSpace):
+            return NotImplemented
+        return self._params == other._params
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<SearchSpace{label} n={len(self._params)}>"
+
+    # ------------------------------------------------------------- properties
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """The parameters, in encoding order."""
+        return tuple(self._params)
+
+    @property
+    def parameter_names(self) -> Tuple[str, ...]:
+        """Parameter names, in encoding order."""
+        return tuple(p.name for p in self._params)
+
+    @property
+    def cardinality(self) -> float:
+        """Total number of distinct configurations (``inf`` if any real param)."""
+        total = 1.0
+        for p in self._params:
+            total *= p.cardinality
+        return total
+
+    # ----------------------------------------------------------------- checks
+    def validate(self, config: Mapping[str, Any]) -> None:
+        """Raise ``ValueError`` if ``config`` is not a full, legal configuration."""
+        missing = [n for n in self.parameter_names if n not in config]
+        if missing:
+            raise ValueError(f"configuration is missing parameters: {missing}")
+        extra = [n for n in config if n not in self._by_name]
+        if extra:
+            raise ValueError(f"configuration has unknown parameters: {extra}")
+        for p in self._params:
+            if not p.contains(config[p.name]):
+                raise ValueError(
+                    f"value {config[p.name]!r} is illegal for parameter {p.name!r} ({p!r})"
+                )
+
+    def contains(self, config: Mapping[str, Any]) -> bool:
+        """Whether ``config`` is a full, legal configuration of this space."""
+        try:
+            self.validate(config)
+        except ValueError:
+            return False
+        return True
+
+    # --------------------------------------------------------------- sampling
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        prior: Optional["JointPriorLike"] = None,
+    ) -> List[Configuration]:
+        """Draw ``n`` configurations.
+
+        Parameters
+        ----------
+        n:
+            Number of configurations to draw.
+        rng:
+            NumPy random generator.
+        prior:
+            Optional joint prior providing ``sample_configurations(n, rng)``.
+            When omitted every parameter uses its default (uniform or
+            log-uniform) distribution — the "user-defined prior" of the paper.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return []
+        if prior is not None:
+            configs = prior.sample_configurations(n, rng)
+            return [self.clip(c) for c in configs]
+        configs = []
+        for _ in range(n):
+            configs.append({p.name: p.sample(rng) for p in self._params})
+        return configs
+
+    def clip(self, config: Mapping[str, Any]) -> Configuration:
+        """Project an arbitrary mapping onto the closest legal configuration."""
+        out: Configuration = {}
+        for p in self._params:
+            if p.name not in config:
+                raise ValueError(f"configuration is missing parameter {p.name!r}")
+            value = config[p.name]
+            if p.contains(value):
+                out[p.name] = value
+                continue
+            if isinstance(p, (RealParameter, IntegerParameter)):
+                try:
+                    v = float(value)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"cannot clip non-numeric value {value!r} for {p.name!r}"
+                    ) from None
+                v = min(p.high, max(p.low, v))
+                out[p.name] = int(round(v)) if isinstance(p, IntegerParameter) else v
+            else:
+                # Snap to the nearest category/value in unit space.
+                out[p.name] = p.from_unit(0.5) if not _snappable(p, value) else _snap(p, value)
+        return out
+
+    # -------------------------------------------------------------- encodings
+    def to_unit_array(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode configurations into the unit hypercube (one row per config)."""
+        arr = np.empty((len(configs), len(self._params)), dtype=float)
+        for i, config in enumerate(configs):
+            for j, p in enumerate(self._params):
+                arr[i, j] = p.to_unit(config[p.name])
+        return arr
+
+    def from_unit_array(self, arr: np.ndarray) -> List[Configuration]:
+        """Decode unit-hypercube rows back into configurations."""
+        arr = np.atleast_2d(np.asarray(arr, dtype=float))
+        if arr.shape[1] != len(self._params):
+            raise ValueError(
+                f"expected {len(self._params)} columns, got {arr.shape[1]}"
+            )
+        configs = []
+        for row in arr:
+            configs.append(
+                {p.name: p.from_unit(float(u)) for p, u in zip(self._params, row)}
+            )
+        return configs
+
+    def to_numeric_array(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Ordinal numeric encoding used by tree-based surrogates.
+
+        Integer/real parameters map to their value, log-scaled when the
+        parameter is log-uniform; categorical and ordinal parameters map to
+        their index.
+        """
+        arr = np.empty((len(configs), len(self._params)), dtype=float)
+        for i, config in enumerate(configs):
+            for j, p in enumerate(self._params):
+                value = config[p.name]
+                if isinstance(p, (RealParameter, IntegerParameter)):
+                    v = float(value)
+                    arr[i, j] = math.log(v) if p.log and v > 0 else v
+                elif isinstance(p, CategoricalParameter):
+                    arr[i, j] = float(p.index_of(value))
+                else:
+                    arr[i, j] = float(p.index_of(value))
+        return arr
+
+    def one_hot_dimension(self) -> int:
+        """Number of columns of the one-hot encoding."""
+        dim = 0
+        for p in self._params:
+            if isinstance(p, CategoricalParameter):
+                dim += len(p.categories)
+            else:
+                dim += 1
+        return dim
+
+    def to_one_hot_array(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """One-hot encoding used by the Gaussian-process surrogate.
+
+        Numeric and ordinal parameters occupy one column each (scaled to the
+        unit interval); each categorical parameter expands into one column per
+        category.
+        """
+        arr = np.zeros((len(configs), self.one_hot_dimension()), dtype=float)
+        for i, config in enumerate(configs):
+            col = 0
+            for p in self._params:
+                value = config[p.name]
+                if isinstance(p, CategoricalParameter):
+                    arr[i, col + p.index_of(value)] = 1.0
+                    col += len(p.categories)
+                else:
+                    arr[i, col] = p.to_unit(value)
+                    col += 1
+        return arr
+
+    # ------------------------------------------------------------ composition
+    def subspace(self, names: Sequence[str], name: str = "") -> "SearchSpace":
+        """A new space restricted to ``names`` (preserving this space's order)."""
+        unknown = [n for n in names if n not in self._by_name]
+        if unknown:
+            raise ValueError(f"unknown parameters: {unknown}")
+        selected = [p for p in self._params if p.name in set(names)]
+        return SearchSpace(selected, name=name)
+
+    def union(self, other: "SearchSpace", name: str = "") -> "SearchSpace":
+        """A space containing this space's parameters plus ``other``'s new ones."""
+        params = list(self._params)
+        for p in other:
+            if p.name not in self._by_name:
+                params.append(p)
+        return SearchSpace(params, name=name)
+
+    def common_parameters(self, other: "SearchSpace") -> List[str]:
+        """Names present in both spaces (used by transfer learning)."""
+        return [p.name for p in self._params if p.name in other]
+
+    def new_parameters(self, previous: "SearchSpace") -> List[str]:
+        """Names present here but absent from ``previous`` (Algorithm 1, l.3)."""
+        return [p.name for p in self._params if p.name not in previous]
+
+
+def _snappable(param: Parameter, value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating))
+
+
+def _snap(param: Parameter, value: Any) -> Any:
+    """Snap a numeric value to the nearest allowed discrete value."""
+    if isinstance(param, OrdinalParameter):
+        vals = [v for v in param.values if isinstance(v, (int, float))]
+        if vals:
+            return min(vals, key=lambda v: abs(v - float(value)))
+    return param.from_unit(0.5)
+
+
+class JointPriorLike:
+    """Structural protocol for joint priors (see :mod:`repro.core.priors`)."""
+
+    def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        raise NotImplementedError

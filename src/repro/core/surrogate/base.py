@@ -1,0 +1,78 @@
+"""Common interface of surrogate models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Surrogate", "ConstantSurrogate"]
+
+
+class Surrogate(ABC):
+    """A regression model with predictive uncertainty.
+
+    The asynchronous Bayesian optimizer only needs two operations:
+
+    * :meth:`fit` on the numerically encoded evaluated configurations and
+      their objectives, and
+    * :meth:`predict` returning a mean and a standard deviation per candidate
+      (the uncertainty drives the exploration term of the LCB acquisition).
+    """
+
+    #: Whether the model has been fitted at least once.
+    fitted: bool = False
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Surrogate":
+        """Fit the model on ``X`` (n×d) and ``y`` (n,).  Returns ``self``."""
+
+    @abstractmethod
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict mean and standard deviation for each row of ``X``."""
+
+    # ------------------------------------------------------------------ utils
+    @staticmethod
+    def _validate(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X and y have inconsistent lengths: {X.shape[0]} vs {y.shape[0]}"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("X contains non-finite values")
+        if not np.all(np.isfinite(y)):
+            raise ValueError("y contains non-finite values (fill failures first)")
+        return X, y
+
+
+class ConstantSurrogate(Surrogate):
+    """A trivial surrogate predicting the training mean everywhere.
+
+    Used as the model behind pure random sampling ("RAND" in the paper): the
+    acquisition function then carries no information and candidate selection
+    degenerates to the prior distribution.
+    """
+
+    def __init__(self) -> None:
+        self._mean = 0.0
+        self._std = 1.0
+        self.fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ConstantSurrogate":
+        X, y = self._validate(X, y)
+        self._mean = float(np.mean(y))
+        self._std = float(np.std(y)) if y.shape[0] > 1 else 1.0
+        self.fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = X.shape[0]
+        return np.full(n, self._mean), np.full(n, max(self._std, 1e-12))

@@ -1,0 +1,211 @@
+"""Transfer learning: from a previous run's history to an informative prior.
+
+This is the heart of the paper's contribution (Algorithm 1, lines 1–10):
+
+1. select the top-q% configurations ``Q_p`` of the previous history ``H_p``;
+2. fit a tabular VAE on ``Q_p`` to model their joint distribution;
+3. build a joint sampling prior for the *current* space that samples the
+   parameters shared with the previous space from the VAE, and any *new*
+   parameter from its uninformative prior (uniform for numeric parameters,
+   multinoulli for categorical ones);
+4. hand that prior to the asynchronous BO, which uses it both for the
+   initialisation batch and for generating candidate configurations inside
+   the optimization loop — biasing the whole search toward the previously
+   high-performing region.
+
+The source and target spaces may differ in their parameter sets (the paper's
+unique capability); only the shared parameters are learned from, and they are
+interpreted with the *target* space's definitions so bounds and encodings stay
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.history import SearchHistory
+from repro.core.priors import IndependentPrior, JointPrior, default_prior
+from repro.core.space import Configuration, SearchSpace
+from repro.core.vae.transforms import TabularTransform
+from repro.core.vae.tvae import TabularVAE
+
+__all__ = ["TransferLearningPrior", "fit_transfer_prior"]
+
+
+class TransferLearningPrior(JointPrior):
+    """Joint prior combining a VAE over shared parameters with defaults for new ones.
+
+    Parameters
+    ----------
+    space:
+        The *current* (target) search space.
+    vae:
+        Tabular VAE trained on the top configurations of the previous run.
+    transform:
+        The tabular transform over the shared-parameter subspace.
+    new_parameters:
+        Names of parameters present in ``space`` but absent from the previous
+        space (they are sampled from their uninformative priors).
+    uniform_fraction:
+        Fraction of samples drawn entirely from the uninformative prior, so
+        the biased search keeps non-zero support over the whole space.
+    top_configurations:
+        The configurations the VAE was trained on (kept for inspection and
+        for the fallback when the VAE could not be trained).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        vae: Optional[TabularVAE],
+        transform: TabularTransform,
+        new_parameters: List[str],
+        uniform_fraction: float = 0.05,
+        top_configurations: Optional[List[Configuration]] = None,
+    ):
+        if not (0.0 <= uniform_fraction <= 1.0):
+            raise ValueError("uniform_fraction must be in [0, 1]")
+        self.space = space
+        self.vae = vae
+        self.transform = transform
+        self.new_parameters = list(new_parameters)
+        self.uniform_fraction = float(uniform_fraction)
+        self.top_configurations = list(top_configurations or [])
+        self._uninformative = IndependentPrior(space)
+        self._new_priors = {
+            name: default_prior(space[name]) for name in self.new_parameters
+        }
+
+    # --------------------------------------------------------------- sampling
+    def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        if n <= 0:
+            return []
+        n_uniform = int(rng.binomial(n, self.uniform_fraction)) if self.uniform_fraction else 0
+        n_informed = n - n_uniform
+        configs: List[Configuration] = []
+        if n_informed > 0:
+            configs.extend(self._sample_informed(n_informed, rng))
+        if n_uniform > 0:
+            configs.extend(self._uninformative.sample_configurations(n_uniform, rng))
+        rng.shuffle(configs)
+        return configs
+
+    def _sample_informed(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        shared = self._sample_shared(n, rng)
+        new_values = {
+            name: prior.sample(n, rng) for name, prior in self._new_priors.items()
+        }
+        configs: List[Configuration] = []
+        for i in range(n):
+            config = dict(shared[i])
+            for name in self.new_parameters:
+                config[name] = new_values[name][i]
+            configs.append(self.space.clip(config))
+        return configs
+
+    def _sample_shared(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        """Sample the shared-parameter part (VAE if available, else resample Q_p)."""
+        if self.vae is not None and self.vae.fitted:
+            rows = self.vae.sample(n, rng)
+            return self.transform.decode(rows, rng=rng, sample_categories=True)
+        # Fallback (tiny Q_p): resample the top configurations directly.
+        if self.top_configurations:
+            picks = rng.integers(0, len(self.top_configurations), size=n)
+            names = [c.parameter.name for c in self.transform.columns]
+            return [
+                {name: self.top_configurations[int(i)][name] for name in names}
+                for i in picks
+            ]
+        # Last resort: uninformative sampling of the shared subspace.
+        sub = SearchSpace([c.parameter for c in self.transform.columns])
+        return IndependentPrior(sub).sample_configurations(n, rng)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def shared_parameters(self) -> List[str]:
+        """Names of the parameters sampled from the learned distribution."""
+        return [c.parameter.name for c in self.transform.columns]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<TransferLearningPrior shared={len(self.shared_parameters)} "
+            f"new={len(self.new_parameters)} vae={'yes' if self.vae else 'no'}>"
+        )
+
+
+def fit_transfer_prior(
+    source_history: SearchHistory,
+    target_space: SearchSpace,
+    quantile: float = 0.10,
+    epochs: int = 300,
+    latent_dim: int = 8,
+    hidden=(64, 64),
+    uniform_fraction: float = 0.05,
+    min_configurations_for_vae: int = 8,
+    seed: int = 0,
+) -> TransferLearningPrior:
+    """Build the informative prior of Algorithm 1 from a previous history.
+
+    Parameters
+    ----------
+    source_history:
+        History ``H_p`` of the previous autotuning run.
+    target_space:
+        Parameter space ``D_c`` of the current run (may differ from the
+        previous space).
+    quantile:
+        Top fraction ``q`` of configurations used to train the VAE.
+    epochs, latent_dim, hidden:
+        VAE training budget and architecture.
+    uniform_fraction:
+        Fraction of prior samples drawn uniformly (exploration safeguard).
+    min_configurations_for_vae:
+        Below this number of selected configurations the VAE is skipped and
+        the prior resamples the selected configurations directly.
+    seed:
+        Seed for VAE initialisation and training.
+    """
+    source_space = source_history.space
+    shared_names = [p.name for p in target_space if p.name in source_space]
+    new_names = [p.name for p in target_space if p.name not in source_space]
+    if not shared_names:
+        raise ValueError(
+            "the source and target spaces share no parameters; transfer learning "
+            "cannot be applied"
+        )
+    shared_space = target_space.subspace(shared_names, name="shared")
+    transform = TabularTransform(shared_space)
+
+    top = source_history.top_quantile(quantile)
+    # Keep only the shared parameters and clip them into the target bounds
+    # (bounds may legitimately change between campaigns).
+    top_shared: List[Configuration] = []
+    for config in top:
+        restricted = {name: config[name] for name in shared_names if name in config}
+        if len(restricted) != len(shared_names):
+            continue
+        top_shared.append(shared_space.clip(restricted))
+
+    vae: Optional[TabularVAE] = None
+    if len(top_shared) >= min_configurations_for_vae:
+        X = transform.encode(top_shared)
+        vae = TabularVAE(
+            input_dim=transform.dimension,
+            numeric_columns=transform.numeric_columns,
+            categorical_blocks=transform.categorical_blocks,
+            latent_dim=min(latent_dim, max(2, transform.dimension // 2)),
+            hidden=hidden,
+            seed=seed,
+        )
+        vae.fit(X, epochs=epochs, batch_size=min(64, max(4, len(top_shared))))
+
+    return TransferLearningPrior(
+        space=target_space,
+        vae=vae,
+        transform=transform,
+        new_parameters=new_names,
+        uniform_fraction=uniform_fraction,
+        top_configurations=top_shared,
+    )

@@ -1,0 +1,25 @@
+"""Tabular variational autoencoder (NumPy, manual backpropagation).
+
+The paper models the joint distribution of high-performing configurations
+with a tabular VAE (TVAE, Xu et al. 2019, distributed through the SDV
+package).  PyTorch is not available in this environment, so the VAE is
+implemented from scratch:
+
+* :mod:`repro.core.vae.layers` — dense layers, activations and a small MLP
+  container with manual forward/backward passes.
+* :mod:`repro.core.vae.optim` — the Adam optimiser.
+* :mod:`repro.core.vae.transforms` — the tabular transform mapping mixed
+  integer/real/categorical configurations onto the VAE's numeric inputs
+  (unit-interval columns for numeric/ordinal parameters, one-hot blocks for
+  categorical parameters) and back.
+* :mod:`repro.core.vae.tvae` — the VAE itself: Gaussian latent space,
+  per-column reconstruction losses (Gaussian for numeric columns,
+  cross-entropy for categorical blocks), trained with Adam.
+"""
+
+from repro.core.vae.layers import Dense, MLP, ReLU, Tanh
+from repro.core.vae.optim import Adam
+from repro.core.vae.transforms import TabularTransform
+from repro.core.vae.tvae import TabularVAE
+
+__all__ = ["Adam", "Dense", "MLP", "ReLU", "TabularTransform", "TabularVAE", "Tanh"]

@@ -1,0 +1,66 @@
+"""Adam optimiser for the NumPy MLPs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) operating on ``(parameter, gradient)`` pairs.
+
+    Parameters are updated in place; gradients are expected to have been
+    accumulated by the layers' ``backward`` calls and are *not* cleared here
+    (call ``zero_grad`` on the model between steps).
+
+    Parameters
+    ----------
+    parameters:
+        The ``(parameter, gradient)`` array pairs to optimise.
+    lr:
+        Learning rate.
+    beta1, beta2:
+        Exponential decay rates of the first and second moment estimates.
+    eps:
+        Numerical stabiliser.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Tuple[np.ndarray, np.ndarray]],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[np.ndarray] = [np.zeros_like(p) for p, _ in self.parameters]
+        self._v: List[np.ndarray] = [np.zeros_like(p) for p, _ in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, (param, grad) in enumerate(self.parameters):
+            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1 - b2) * grad**2
+            m_hat = self._m[i] / (1 - b1**self._t)
+            v_hat = self._v[i] / (1 - b2**self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of update steps applied so far."""
+        return self._t

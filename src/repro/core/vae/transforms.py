@@ -1,0 +1,153 @@
+"""Tabular transform between configurations and the VAE's numeric inputs.
+
+The TVAE of Xu et al. handles mixed tabular data by transforming each column
+into a numeric representation before training.  Here the transform is driven
+by the :class:`~repro.core.space.SearchSpace` that produced the
+configurations:
+
+* integer, real and ordinal parameters map to a single column in ``[0, 1]``
+  using the parameter's own unit transform (which already accounts for
+  log-uniform scaling — the analogue of TVAE's mode-specific normalisation
+  for our bounded parameters);
+* categorical parameters map to a one-hot block.
+
+Decoding inverts the mapping: numeric columns go through
+``Parameter.from_unit`` (clipped to ``[0, 1]``), categorical blocks are
+interpreted as probability vectors from which a category is sampled (or the
+arg-max taken).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.space import (
+    CategoricalParameter,
+    Configuration,
+    Parameter,
+    SearchSpace,
+)
+
+__all__ = ["ColumnSpec", "TabularTransform"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Layout of one parameter inside the transformed matrix."""
+
+    parameter: Parameter
+    start: int
+    width: int
+    is_categorical: bool
+
+    @property
+    def stop(self) -> int:
+        """End column (exclusive) of this parameter's block."""
+        return self.start + self.width
+
+
+class TabularTransform:
+    """Bidirectional mapping between configurations and VAE input rows.
+
+    Parameters
+    ----------
+    space:
+        The search space defining the columns.
+    """
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        self._columns: List[ColumnSpec] = []
+        offset = 0
+        for param in space:
+            if isinstance(param, CategoricalParameter):
+                width = len(param.categories)
+                self._columns.append(ColumnSpec(param, offset, width, True))
+            else:
+                width = 1
+                self._columns.append(ColumnSpec(param, offset, width, False))
+            offset += width
+        self._dim = offset
+
+    # ------------------------------------------------------------- properties
+    @property
+    def dimension(self) -> int:
+        """Number of columns of the transformed representation."""
+        return self._dim
+
+    @property
+    def columns(self) -> Tuple[ColumnSpec, ...]:
+        """Per-parameter column layout."""
+        return tuple(self._columns)
+
+    @property
+    def numeric_columns(self) -> List[int]:
+        """Indices of the numeric (non-categorical) columns."""
+        return [c.start for c in self._columns if not c.is_categorical]
+
+    @property
+    def categorical_blocks(self) -> List[Tuple[int, int]]:
+        """``(start, stop)`` ranges of the categorical one-hot blocks."""
+        return [(c.start, c.stop) for c in self._columns if c.is_categorical]
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, configurations: Sequence[Configuration]) -> np.ndarray:
+        """Transform configurations into the numeric matrix (n × dimension)."""
+        X = np.zeros((len(configurations), self._dim), dtype=float)
+        for i, config in enumerate(configurations):
+            for col in self._columns:
+                value = config[col.parameter.name]
+                if col.is_categorical:
+                    idx = col.parameter.index_of(value)  # type: ignore[attr-defined]
+                    X[i, col.start + idx] = 1.0
+                else:
+                    X[i, col.start] = col.parameter.to_unit(value)
+        return X
+
+    # ----------------------------------------------------------------- decode
+    def decode(
+        self,
+        X: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        sample_categories: bool = True,
+    ) -> List[Configuration]:
+        """Transform VAE outputs back into configurations.
+
+        Parameters
+        ----------
+        X:
+            Matrix of shape (n, dimension); numeric columns are interpreted as
+            unit-interval positions, categorical blocks as (unnormalised)
+            probability vectors.
+        rng:
+            Random generator used when sampling categories.
+        sample_categories:
+            If True, categories are sampled from the block probabilities
+            (preserving the learned diversity); otherwise the arg-max is used.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self._dim:
+            raise ValueError(f"expected {self._dim} columns, got {X.shape[1]}")
+        if sample_categories and rng is None:
+            rng = np.random.default_rng()
+        configs: List[Configuration] = []
+        for row in X:
+            config: Configuration = {}
+            for col in self._columns:
+                if col.is_categorical:
+                    block = row[col.start : col.stop]
+                    probs = np.clip(block, 1e-12, None)
+                    probs = probs / probs.sum()
+                    if sample_categories:
+                        idx = int(rng.choice(len(probs), p=probs))
+                    else:
+                        idx = int(np.argmax(probs))
+                    config[col.parameter.name] = col.parameter.categories[idx]  # type: ignore[attr-defined]
+                else:
+                    u = float(np.clip(row[col.start], 0.0, 1.0))
+                    config[col.parameter.name] = col.parameter.from_unit(u)
+            configs.append(config)
+        return configs

@@ -1,0 +1,262 @@
+"""The tabular variational autoencoder.
+
+Architecture (following the TVAE of Xu et al., scaled to the size of the
+autotuning histories):
+
+* encoder: MLP ``input → hidden → hidden``, then two linear heads producing
+  the latent mean ``µ`` and log-variance ``log σ²``;
+* latent space: diagonal Gaussian with the reparameterisation trick;
+* decoder: MLP ``latent → hidden → hidden → input``; numeric columns go
+  through a sigmoid (they live in ``[0, 1]`` after the tabular transform) and
+  are scored with a Gaussian reconstruction loss, categorical blocks go
+  through a softmax and are scored with cross-entropy;
+* loss: reconstruction + β · KL(q(z|x) ‖ N(0, I)), optimised with Adam.
+
+Everything — forward pass, backward pass, training loop, sampling — is
+implemented with NumPy; the gradients are verified against finite differences
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.vae.layers import Dense, MLP
+from repro.core.vae.optim import Adam
+
+__all__ = ["TabularVAE", "TrainingTrace"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class TrainingTrace:
+    """Per-epoch training diagnostics."""
+
+    loss: List[float]
+    reconstruction: List[float]
+    kl: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch (inf if training never ran)."""
+        return self.loss[-1] if self.loss else float("inf")
+
+
+class TabularVAE:
+    """A VAE over tabular rows produced by
+    :class:`~repro.core.vae.transforms.TabularTransform`.
+
+    Parameters
+    ----------
+    input_dim:
+        Number of input columns.
+    numeric_columns:
+        Indices of the numeric (unit-interval) columns.
+    categorical_blocks:
+        ``(start, stop)`` ranges of the categorical one-hot blocks.
+    latent_dim:
+        Dimensionality of the latent Gaussian.
+    hidden:
+        Hidden-layer widths shared by encoder and decoder.
+    beta:
+        Weight of the KL term.
+    numeric_sigma:
+        Standard deviation of the Gaussian reconstruction model for numeric
+        columns (smaller = sharper reconstructions).
+    seed:
+        Seed for weight initialisation, the reparameterisation noise and
+        mini-batch shuffling.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        numeric_columns: Sequence[int],
+        categorical_blocks: Sequence[Tuple[int, int]],
+        latent_dim: int = 8,
+        hidden: Sequence[int] = (64, 64),
+        beta: float = 1.0,
+        numeric_sigma: float = 0.15,
+        seed: int = 0,
+    ):
+        if input_dim < 1 or latent_dim < 1:
+            raise ValueError("dimensions must be positive")
+        if numeric_sigma <= 0:
+            raise ValueError("numeric_sigma must be positive")
+        self.input_dim = int(input_dim)
+        self.latent_dim = int(latent_dim)
+        self.numeric_columns = list(numeric_columns)
+        self.categorical_blocks = [tuple(b) for b in categorical_blocks]
+        self.beta = float(beta)
+        self.numeric_sigma = float(numeric_sigma)
+        self.rng = np.random.default_rng(seed)
+
+        self.encoder = MLP.build(input_dim, hidden, hidden[-1], rng=self.rng)
+        self.mu_head = Dense(hidden[-1], latent_dim, rng=self.rng)
+        self.logvar_head = Dense(hidden[-1], latent_dim, rng=self.rng)
+        self.decoder = MLP.build(latent_dim, hidden, input_dim, rng=self.rng)
+        self.fitted = False
+        self.trace: Optional[TrainingTrace] = None
+
+    # -------------------------------------------------------------- internals
+    def _all_parameters(self):
+        return (
+            self.encoder.parameters()
+            + self.mu_head.parameters()
+            + self.logvar_head.parameters()
+            + self.decoder.parameters()
+        )
+
+    def _zero_grad(self) -> None:
+        for _, grad in self._all_parameters():
+            grad[...] = 0.0
+
+    def _decode_activations(self, logits: np.ndarray) -> np.ndarray:
+        """Apply sigmoid to numeric columns and softmax to categorical blocks."""
+        out = np.empty_like(logits)
+        if self.numeric_columns:
+            cols = self.numeric_columns
+            out[:, cols] = _sigmoid(logits[:, cols])
+        for start, stop in self.categorical_blocks:
+            out[:, start:stop] = _softmax(logits[:, start:stop])
+        return out
+
+    def _loss_and_grad(self, X: np.ndarray) -> Tuple[float, float, np.ndarray, np.ndarray, dict]:
+        """Forward pass returning losses and the gradients wrt decoder logits and latent stats."""
+        n = X.shape[0]
+        h = self.encoder.forward(X)
+        mu = self.mu_head.forward(h)
+        logvar = np.clip(self.logvar_head.forward(h), -10.0, 10.0)
+        eps = self.rng.standard_normal(mu.shape)
+        std = np.exp(0.5 * logvar)
+        z = mu + eps * std
+
+        logits = self.decoder.forward(z)
+        recon = self._decode_activations(logits)
+
+        # ---------------------------------------------------------- losses
+        recon_loss = 0.0
+        grad_logits = np.zeros_like(logits)
+        if self.numeric_columns:
+            cols = self.numeric_columns
+            diff = recon[:, cols] - X[:, cols]
+            recon_loss += float(0.5 * np.sum((diff / self.numeric_sigma) ** 2)) / n
+            # d/dlogit of 0.5*((sigmoid(l)-x)/s)^2 = (sigmoid-x)/s^2 * sigmoid'
+            grad_logits[:, cols] = (
+                diff / (self.numeric_sigma**2) * recon[:, cols] * (1.0 - recon[:, cols])
+            ) / n
+        for start, stop in self.categorical_blocks:
+            probs = recon[:, start:stop]
+            target = X[:, start:stop]
+            recon_loss += float(-np.sum(target * np.log(np.clip(probs, 1e-12, None)))) / n
+            grad_logits[:, start:stop] = (probs - target) / n
+
+        kl = float(-0.5 * np.sum(1.0 + logvar - mu**2 - np.exp(logvar))) / n
+        return recon_loss, kl, grad_logits, z, {
+            "mu": mu,
+            "logvar": logvar,
+            "eps": eps,
+            "std": std,
+            "n": n,
+        }
+
+    # -------------------------------------------------------------------- fit
+    def fit(
+        self,
+        X: np.ndarray,
+        epochs: int = 300,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+    ) -> TrainingTrace:
+        """Train the VAE on the transformed rows ``X``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.input_dim:
+            raise ValueError(f"expected {self.input_dim} columns, got {X.shape[1]}")
+        if X.shape[0] < 1:
+            raise ValueError("cannot train on an empty dataset")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        optimizer = Adam(self._all_parameters(), lr=lr)
+        n = X.shape[0]
+        batch_size = max(1, min(batch_size, n))
+        trace = TrainingTrace(loss=[], reconstruction=[], kl=[])
+
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
+            for start in range(0, n, batch_size):
+                batch = X[order[start : start + batch_size]]
+                self._zero_grad()
+                recon_loss, kl, grad_logits, z, cache = self._loss_and_grad(batch)
+
+                # Backward through the decoder to the latent sample.
+                grad_z = self.decoder.backward(grad_logits)
+                # Reparameterisation: z = mu + eps * exp(0.5*logvar)
+                mu, logvar = cache["mu"], cache["logvar"]
+                eps, std, nb = cache["eps"], cache["std"], cache["n"]
+                grad_mu = grad_z + self.beta * mu / nb
+                grad_logvar = (
+                    grad_z * eps * 0.5 * std
+                    + self.beta * 0.5 * (np.exp(logvar) - 1.0) / nb
+                )
+                grad_h = self.mu_head.backward(grad_mu) + self.logvar_head.backward(
+                    grad_logvar
+                )
+                self.encoder.backward(grad_h)
+                optimizer.step()
+
+                epoch_recon += recon_loss
+                epoch_kl += kl
+                batches += 1
+            trace.reconstruction.append(epoch_recon / batches)
+            trace.kl.append(epoch_kl / batches)
+            trace.loss.append(trace.reconstruction[-1] + self.beta * trace.kl[-1])
+
+        self.fitted = True
+        self.trace = trace
+        return trace
+
+    # ----------------------------------------------------------------- sample
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``n`` rows from the learned distribution (decoded activations)."""
+        if not self.fitted:
+            raise RuntimeError("the VAE has not been fitted")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        rng = rng or self.rng
+        z = rng.standard_normal((n, self.latent_dim))
+        logits = self.decoder.forward(z)
+        return self._decode_activations(logits)
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Encode-decode ``X`` using the latent mean (no sampling noise)."""
+        if not self.fitted:
+            raise RuntimeError("the VAE has not been fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        h = self.encoder.forward(X)
+        mu = self.mu_head.forward(h)
+        logits = self.decoder.forward(mu)
+        return self._decode_activations(logits)
+
+    def loss_on(self, X: np.ndarray) -> float:
+        """Total loss (reconstruction + β·KL) on ``X`` without training."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        recon_loss, kl, _, _, _ = self._loss_and_grad(X)
+        return recon_loss + self.beta * kl

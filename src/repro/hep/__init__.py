@@ -1,0 +1,51 @@
+"""The NOvA event-selection workflow (HEPnOS's motivating use case).
+
+This subpackage models the two-step HEP workflow of the paper (Fig. 1):
+
+1. **Data loading** (:mod:`repro.hep.dataloader`): a parallel application
+   reads HDF5 event files from a shared list, converts them into objects and
+   stores them into HEPnOS.
+2. **Parallel event processing** (:mod:`repro.hep.pep`): the PEP benchmark
+   lists the stored events (one process per event database), exchanges event
+   batches between processes, loads the associated products and "processes"
+   them.
+
+Supporting modules:
+
+* :mod:`repro.hep.hdf5` — the synthetic population of input HDF5 files
+  (the Fermilab files are not public; see DESIGN.md, Substitutions).
+* :mod:`repro.hep.parameters` — the 20-parameter search space of Fig. 1 and
+  the five experimental setups (``4n-1s-11p`` … ``16n-2s-20p``).
+* :mod:`repro.hep.workflow` — ties everything together: evaluates one
+  configuration by deploying a simulated HEPnOS instance and running both
+  steps, returning the end-to-end run time (or NaN on timeout/failure).
+* :mod:`repro.hep.surrogate_runtime` — a learned surrogate of the workflow
+  run time used for the fully-reproducible framework comparison (Fig. 5).
+"""
+
+from repro.hep.hdf5 import FileInfo, SyntheticEventFiles
+from repro.hep.parameters import (
+    ALL_PARAMETERS,
+    DEFAULT_CONFIGURATION,
+    SETUPS,
+    WorkflowSetup,
+    build_space,
+    get_setup,
+)
+from repro.hep.workflow import HEPWorkflow, HEPWorkflowProblem, WorkflowResult
+from repro.hep.surrogate_runtime import SurrogateRuntime
+
+__all__ = [
+    "ALL_PARAMETERS",
+    "DEFAULT_CONFIGURATION",
+    "FileInfo",
+    "HEPWorkflow",
+    "HEPWorkflowProblem",
+    "SETUPS",
+    "SurrogateRuntime",
+    "SyntheticEventFiles",
+    "WorkflowResult",
+    "WorkflowSetup",
+    "build_space",
+    "get_setup",
+]

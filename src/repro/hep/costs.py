@@ -1,0 +1,88 @@
+"""Calibration constants of the HEP workflow simulation.
+
+All application-level cost constants live here (the network and key/value
+store constants live with their components in :mod:`repro.mochi`).  The
+defaults are calibrated so that the simulated workflow lands in the regime the
+paper reports on Theta: roughly 90 s per step with a sensibly chosen
+configuration on 4 nodes, around 10–20 s for the best configurations, and
+beyond the 300 s per-step limit (therefore NaN) for pathological ones.
+
+The constants are deliberately exposed as a dataclass so that tests and
+ablation benchmarks can explore their influence without monkey-patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mochi.yokan import YokanCostModel
+
+__all__ = ["WorkflowCostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class WorkflowCostModel:
+    """Application-level cost constants.
+
+    Attributes
+    ----------
+    loader_convert_per_event:
+        CPU time to convert one HDF5 row into a C++ object, seconds.
+    loader_serialize_per_byte:
+        CPU time per byte of product serialisation in the loader, seconds.
+    pep_compute_per_event:
+        Simulated per-event computation of the PEP benchmark, seconds.
+    pep_deserialize_per_byte:
+        CPU time per byte of product deserialisation in PEP, seconds.
+    pep_exchange_rpc_overhead:
+        Fixed cost of one inter-PEP-process batch request, seconds.
+    event_descriptor_bytes:
+        Size of one event descriptor exchanged between PEP processes, bytes.
+    rpc_client_overhead:
+        Client-side CPU cost of issuing one RPC (argument serialisation,
+        callback handling), seconds.
+    yokan:
+        Cost model of the Yokan databases backing HEPnOS.
+    step_time_limit:
+        Per-step wall-clock limit; beyond it the step is killed and the
+        evaluation returns NaN (600 s total / 300 s per step in the paper).
+    """
+
+    loader_convert_per_event: float = 3.0e-4
+    loader_serialize_per_byte: float = 2.0e-9
+    pep_compute_per_event: float = 1.2e-3
+    pep_deserialize_per_byte: float = 3.0e-9
+    pep_exchange_rpc_overhead: float = 120.0e-6
+    event_descriptor_bytes: int = 64
+    rpc_client_overhead: float = 25.0e-6
+    yokan: YokanCostModel = field(
+        default_factory=lambda: YokanCostModel(
+            put_overhead=140.0e-6,
+            get_overhead=120.0e-6,
+            per_byte=8.0e-10,
+            batch_overhead=180.0e-6,
+            batch_per_item=12.0e-6,
+            list_overhead=200.0e-6,
+            list_per_key=2.0e-6,
+        )
+    )
+    step_time_limit: float = 300.0
+
+    def __post_init__(self) -> None:
+        numeric = (
+            self.loader_convert_per_event,
+            self.loader_serialize_per_byte,
+            self.pep_compute_per_event,
+            self.pep_deserialize_per_byte,
+            self.pep_exchange_rpc_overhead,
+            self.rpc_client_overhead,
+            self.step_time_limit,
+        )
+        if any(v < 0 for v in numeric):
+            raise ValueError("cost constants must be non-negative")
+        if self.step_time_limit <= 0:
+            raise ValueError("step_time_limit must be positive")
+
+
+#: Default calibration used by the experiments.
+DEFAULT_COSTS = WorkflowCostModel()

@@ -1,0 +1,148 @@
+"""Synthetic population of NOvA HDF5 event files.
+
+The paper uses 200 HDF5 files (26.5 GiB in total) provided by Fermilab, which
+could not be made public.  This module generates a synthetic population with
+the properties that matter to the workflow:
+
+* heterogeneous per-file event counts (the data loader balances work through a
+  shared file list precisely because files differ in size),
+* realistic per-event product payloads (products carry most of the bytes), and
+* a total volume consistent with the paper (≈ 26.5 GiB / 200 files ≈ 135 MiB
+  per file), scaled by the number of files used at each node count
+  (50 files on 4 nodes, 100 on 8, 200 on 16 — weak scaling).
+
+The population is fully determined by its seed, so every experiment is
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+__all__ = ["FileInfo", "SyntheticEventFiles"]
+
+#: Mean number of events per file (chosen so that 200 files ≈ 26.5 GiB with
+#: the default product size).
+DEFAULT_MEAN_EVENTS_PER_FILE = 10_000
+#: Mean serialised product payload per event, bytes.
+DEFAULT_MEAN_PRODUCT_BYTES = 14_000
+#: Log-normal shape parameter of the per-file event count distribution.
+DEFAULT_EVENT_COUNT_SIGMA = 0.45
+
+
+@dataclass(frozen=True)
+class FileInfo:
+    """One synthetic HDF5 input file."""
+
+    name: str
+    num_events: int
+    product_bytes_per_event: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate on-disk size of the file."""
+        return self.num_events * self.product_bytes_per_event
+
+    def __post_init__(self) -> None:
+        if self.num_events < 1:
+            raise ValueError("a file must contain at least one event")
+        if self.product_bytes_per_event < 1:
+            raise ValueError("product payload must be at least one byte")
+
+
+class SyntheticEventFiles:
+    """A reproducible synthetic file population.
+
+    Parameters
+    ----------
+    num_files:
+        Number of files to generate.
+    seed:
+        Seed of the generating RNG (population is a pure function of it).
+    mean_events_per_file:
+        Mean of the per-file event count distribution.
+    mean_product_bytes:
+        Mean serialised product size per event.
+    sigma:
+        Log-normal sigma of the per-file event count (controls skew).
+    """
+
+    def __init__(
+        self,
+        num_files: int,
+        seed: int = 0,
+        mean_events_per_file: int = DEFAULT_MEAN_EVENTS_PER_FILE,
+        mean_product_bytes: int = DEFAULT_MEAN_PRODUCT_BYTES,
+        sigma: float = DEFAULT_EVENT_COUNT_SIGMA,
+    ):
+        if num_files < 1:
+            raise ValueError("num_files must be >= 1")
+        if mean_events_per_file < 1 or mean_product_bytes < 1:
+            raise ValueError("means must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.num_files = int(num_files)
+        self.seed = int(seed)
+        self.mean_events_per_file = int(mean_events_per_file)
+        self.mean_product_bytes = int(mean_product_bytes)
+        self.sigma = float(sigma)
+        self._files = self._generate()
+
+    def _generate(self) -> List[FileInfo]:
+        rng = np.random.default_rng(self.seed)
+        # Log-normal event counts with the requested mean: mean of LN(mu, s) is
+        # exp(mu + s^2/2), so mu = log(mean) - s^2/2.
+        mu = np.log(self.mean_events_per_file) - self.sigma**2 / 2.0
+        counts = rng.lognormal(mean=mu, sigma=self.sigma, size=self.num_files)
+        counts = np.maximum(1, np.round(counts)).astype(int)
+        # Product sizes vary mildly between files (different detector periods).
+        sizes = rng.normal(
+            loc=self.mean_product_bytes,
+            scale=0.1 * self.mean_product_bytes,
+            size=self.num_files,
+        )
+        sizes = np.maximum(512, np.round(sizes)).astype(int)
+        return [
+            FileInfo(
+                name=f"nova-{self.seed:04d}-{i:05d}.h5",
+                num_events=int(counts[i]),
+                product_bytes_per_event=int(sizes[i]),
+            )
+            for i in range(self.num_files)
+        ]
+
+    # ------------------------------------------------------------- collection
+    @property
+    def files(self) -> Sequence[FileInfo]:
+        """The generated files (stable order)."""
+        return tuple(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __iter__(self) -> Iterator[FileInfo]:
+        return iter(self._files)
+
+    def __getitem__(self, idx: int) -> FileInfo:
+        return self._files[idx]
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def total_events(self) -> int:
+        """Total number of events across all files."""
+        return sum(f.num_events for f in self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload volume across all files."""
+        return sum(f.total_bytes for f in self._files)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        gib = self.total_bytes / 2**30
+        return (
+            f"<SyntheticEventFiles n={self.num_files} events={self.total_events} "
+            f"volume={gib:.1f}GiB>"
+        )

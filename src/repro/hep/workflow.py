@@ -1,0 +1,252 @@
+"""End-to-end HEP workflow evaluation: configuration → run time.
+
+This module ties the substrate together.  Evaluating one configuration means:
+
+1. creating a fresh simulation environment and node allocation for the setup
+   (1:3 split between HEPnOS and application nodes, as in the paper),
+2. bootstrapping a HEPnOS service from the configuration's HEPnOS parameters
+   (via a Bedrock :class:`~repro.mochi.bedrock.ServiceConfig`),
+3. running the data-loading step and, for two-step setups, the parallel
+   event-processing step, each under the paper's 300 s per-step limit, and
+4. returning the total run time — or NaN when a step exceeds its limit (the
+   paper kills such runs and reports NaN).
+
+:class:`HEPWorkflowProblem` packages a setup as an autotuning problem: a
+search space plus an ``evaluate(configuration) -> run time`` callable, with
+the paper's ``-log(runtime)`` objective available through
+:meth:`HEPWorkflowProblem.objective`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.sim import Environment
+from repro.mochi.bedrock import ServiceConfig
+from repro.hepnos.service import HEPnOSService
+from repro.hep.costs import WorkflowCostModel, DEFAULT_COSTS
+from repro.hep.dataloader import DataLoaderConfig, DataLoaderRun
+from repro.hep.hdf5 import SyntheticEventFiles
+from repro.hep.parameters import (
+    WorkflowSetup,
+    complete_configuration,
+    get_setup,
+)
+from repro.hep.pep import PEPConfig, PEPRun
+from repro.platform import THETA, NodeAllocation, Platform
+
+__all__ = ["WorkflowResult", "HEPWorkflow", "HEPWorkflowProblem"]
+
+
+@dataclass(frozen=True)
+class WorkflowResult:
+    """Outcome of evaluating one configuration.
+
+    ``runtime`` is NaN when the run failed or exceeded a step time limit.
+    """
+
+    runtime: float
+    loader_time: float
+    pep_time: float
+    timed_out: bool
+    events_stored: int
+    events_processed: int
+
+    @property
+    def failed(self) -> bool:
+        """True when the evaluation did not produce a valid run time."""
+        return not math.isfinite(self.runtime)
+
+
+class HEPWorkflow:
+    """Simulator of the full HEP workflow for one setup.
+
+    Parameters
+    ----------
+    setup:
+        A :class:`~repro.hep.parameters.WorkflowSetup` or its name.
+    platform:
+        Platform model (defaults to the Theta-like platform).
+    costs:
+        Workflow cost constants.
+    seed:
+        Seed of the synthetic input-file population.
+    noise:
+        Relative standard deviation of the multiplicative run-to-run noise
+        applied to finite run times (the real workflow is not perfectly
+        deterministic).  Set to 0 for a deterministic simulator.
+    """
+
+    def __init__(
+        self,
+        setup: Union[str, WorkflowSetup],
+        platform: Platform = THETA,
+        costs: WorkflowCostModel = DEFAULT_COSTS,
+        seed: int = 0,
+        noise: float = 0.02,
+    ):
+        self.setup = get_setup(setup) if isinstance(setup, str) else setup
+        self.platform = platform
+        self.costs = costs
+        self.seed = int(seed)
+        self.noise = float(noise)
+        if self.noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.files = SyntheticEventFiles(self.setup.num_files, seed=seed)
+
+    # -------------------------------------------------------------- evaluation
+    def run(
+        self,
+        configuration: Dict,
+        rng: Optional[np.random.Generator] = None,
+    ) -> WorkflowResult:
+        """Evaluate one configuration and return its :class:`WorkflowResult`.
+
+        ``configuration`` may be restricted to the setup's tuned parameters;
+        missing parameters take their default values.
+        """
+        config = complete_configuration(configuration)
+        env = Environment()
+        allocation = NodeAllocation.create(env, self.platform, self.setup.num_nodes)
+
+        service_config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=config["hepnos_num_event_databases"],
+            num_product_dbs=config["hepnos_num_product_databases"],
+            num_providers=config["hepnos_num_providers"],
+            num_rpc_threads=config["hepnos_num_rpc_threads"],
+            pool_type=config["hepnos_pool_type"],
+            progress_thread=config["hepnos_progress_thread"],
+            busy_spin=config["busy_spin"],
+        )
+        service = HEPnOSService(
+            env,
+            nodes=allocation.hepnos_nodes,
+            config=service_config,
+            servers_per_node=config["hepnos_pes_per_node"],
+            yokan_costs=self.costs.yokan,
+        )
+
+        limit = self.costs.step_time_limit
+
+        # ------------------------------------------------------------- step 1
+        loader = DataLoaderRun(
+            env,
+            app_nodes=allocation.app_nodes,
+            service=service,
+            files=list(self.files),
+            config=DataLoaderConfig.from_configuration(config),
+            costs=self.costs,
+        )
+        loader_proc = env.process(loader.run())
+        env.run(until=limit)
+        if not loader_proc.triggered:
+            return WorkflowResult(
+                runtime=float("nan"),
+                loader_time=float("nan"),
+                pep_time=float("nan"),
+                timed_out=True,
+                events_stored=loader.stats.events_stored,
+                events_processed=0,
+            )
+        loader_time = loader.stats.elapsed
+
+        pep_time = 0.0
+        events_processed = 0
+        if self.setup.num_steps >= 2:
+            # --------------------------------------------------------- step 2
+            for node in allocation.app_nodes:
+                node.reset_accounting()
+            pep = PEPRun(
+                env,
+                app_nodes=allocation.app_nodes,
+                service=service,
+                config=PEPConfig.from_configuration(config),
+                costs=self.costs,
+            )
+            pep_start = env.now
+            pep_proc = env.process(pep.run())
+            env.run(until=pep_start + limit)
+            if not pep_proc.triggered:
+                return WorkflowResult(
+                    runtime=float("nan"),
+                    loader_time=loader_time,
+                    pep_time=float("nan"),
+                    timed_out=True,
+                    events_stored=loader.stats.events_stored,
+                    events_processed=pep.stats.events_processed,
+                )
+            pep_time = pep.stats.elapsed
+            events_processed = pep.stats.events_processed
+
+        runtime = loader_time + pep_time
+        if self.noise > 0 and rng is not None:
+            runtime *= float(rng.lognormal(mean=0.0, sigma=self.noise))
+        return WorkflowResult(
+            runtime=runtime,
+            loader_time=loader_time,
+            pep_time=pep_time,
+            timed_out=False,
+            events_stored=loader.stats.events_stored,
+            events_processed=events_processed,
+        )
+
+
+class HEPWorkflowProblem:
+    """A workflow setup packaged as an autotuning problem.
+
+    Attributes
+    ----------
+    space:
+        The setup's :class:`~repro.core.space.SearchSpace`.
+    workflow:
+        The underlying :class:`HEPWorkflow` simulator.
+    """
+
+    def __init__(
+        self,
+        workflow: HEPWorkflow,
+        seed: int = 0,
+    ):
+        self.workflow = workflow
+        self.space = workflow.setup.space()
+        self._rng = np.random.default_rng(seed)
+        self.num_evaluations = 0
+
+    @classmethod
+    def from_setup(
+        cls,
+        name: str,
+        seed: int = 0,
+        platform: Platform = THETA,
+        costs: WorkflowCostModel = DEFAULT_COSTS,
+        noise: float = 0.02,
+    ) -> "HEPWorkflowProblem":
+        """Build a problem for one of the paper's setups by name."""
+        workflow = HEPWorkflow(name, platform=platform, costs=costs, seed=seed, noise=noise)
+        return cls(workflow, seed=seed)
+
+    @property
+    def setup(self) -> WorkflowSetup:
+        """The underlying workflow setup."""
+        return self.workflow.setup
+
+    # -------------------------------------------------------------- evaluation
+    def evaluate(self, configuration: Dict) -> float:
+        """Run time (seconds) of ``configuration``; NaN on timeout/failure."""
+        self.num_evaluations += 1
+        result = self.workflow.run(configuration, rng=self._rng)
+        return result.runtime
+
+    def objective(self, configuration: Dict) -> float:
+        """The paper's maximisation objective, ``-log(runtime)``."""
+        runtime = self.evaluate(configuration)
+        if not math.isfinite(runtime) or runtime <= 0:
+            return float("nan")
+        return -math.log(runtime)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<HEPWorkflowProblem setup={self.setup.name!r}>"

@@ -1,0 +1,36 @@
+"""HEPnOS: a simulated in-memory object store for high-energy physics data.
+
+HEPnOS (https://hepnos.readthedocs.io) is the distributed storage service the
+paper autotunes.  It stores a hierarchy of datasets, runs, subruns, events and
+products in a flat key/value namespace spread over many Yokan databases, and
+is assembled from the Mochi components modelled in :mod:`repro.mochi`.
+
+This subpackage provides:
+
+* :mod:`repro.hepnos.datamodel` — the dataset/run/subrun/event/product
+  descriptors and their binary key encoding.
+* :mod:`repro.hepnos.server` — one HEPnOS server process (Margo engine,
+  provider pools, event/product databases), built from a Bedrock
+  :class:`~repro.mochi.bedrock.ServiceConfig`.
+* :mod:`repro.hepnos.service` — the whole distributed service (all servers on
+  all HEPnOS nodes) plus the data-distribution policy.
+* :mod:`repro.hepnos.client` — the client API used by the data loader and the
+  PEP application (batch stores, event listing, product loads), expressed as
+  discrete-event processes.
+"""
+
+from repro.hepnos.datamodel import DataSetID, EventID, ProductID, RunID, SubRunID
+from repro.hepnos.server import HEPnOSServer
+from repro.hepnos.service import HEPnOSService
+from repro.hepnos.client import HEPnOSClient
+
+__all__ = [
+    "DataSetID",
+    "EventID",
+    "HEPnOSClient",
+    "HEPnOSServer",
+    "HEPnOSService",
+    "ProductID",
+    "RunID",
+    "SubRunID",
+]

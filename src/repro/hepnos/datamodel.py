@@ -1,0 +1,188 @@
+"""HEPnOS data model: datasets, runs, subruns, events and products.
+
+HEPnOS organises HEP data hierarchically::
+
+    DataSet -> Run -> SubRun -> Event -> Product
+
+and maps every level onto a flat key/value namespace.  Keys are constructed so
+that the lexicographic byte order of the keys matches the numeric order of the
+identifiers, which is what allows efficient prefix listing of, say, all events
+of a subrun.  Products carry the actual payload (serialised C++ objects in the
+real system) and are keyed by the owning event plus a product label.
+
+These descriptors are plain immutable value objects; the binary encoding is
+exercised directly by the Yokan databases of the simulated service, so the
+round-trip (encode → store → list → decode) is tested for correctness.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Tuple
+
+__all__ = [
+    "DataSetID",
+    "RunID",
+    "SubRunID",
+    "EventID",
+    "ProductID",
+]
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+def _encode_u32(value: int) -> bytes:
+    if value < 0 or value > 0xFFFFFFFF:
+        raise ValueError(f"value {value} out of range for u32")
+    return _U32.pack(value)
+
+
+def _encode_u64(value: int) -> bytes:
+    if value < 0 or value > 0xFFFFFFFFFFFFFFFF:
+        raise ValueError(f"value {value} out of range for u64")
+    return _U64.pack(value)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class DataSetID:
+    """A named dataset (the root of the hierarchy)."""
+
+    name: str
+
+    def key(self) -> bytes:
+        """Binary key of the dataset itself."""
+        return b"DS|" + self.name.encode("utf-8")
+
+    def __lt__(self, other: "DataSetID") -> bool:
+        return self.name < other.name
+
+
+@total_ordering
+@dataclass(frozen=True)
+class RunID:
+    """A run within a dataset."""
+
+    dataset: DataSetID
+    run: int
+
+    def key(self) -> bytes:
+        """Binary key; sorts by (dataset, run)."""
+        return self.dataset.key() + b"|R|" + _encode_u32(self.run)
+
+    def _tuple(self) -> Tuple:
+        return (self.dataset.name, self.run)
+
+    def __lt__(self, other: "RunID") -> bool:
+        return self._tuple() < other._tuple()
+
+
+@total_ordering
+@dataclass(frozen=True)
+class SubRunID:
+    """A subrun within a run."""
+
+    run: RunID
+    subrun: int
+
+    def key(self) -> bytes:
+        """Binary key; sorts by (dataset, run, subrun)."""
+        return self.run.key() + b"|S|" + _encode_u32(self.subrun)
+
+    def _tuple(self) -> Tuple:
+        return (self.run.dataset.name, self.run.run, self.subrun)
+
+    def __lt__(self, other: "SubRunID") -> bool:
+        return self._tuple() < other._tuple()
+
+
+@total_ordering
+@dataclass(frozen=True)
+class EventID:
+    """An event within a subrun — the unit of work of the PEP application."""
+
+    subrun: SubRunID
+    event: int
+
+    def key(self) -> bytes:
+        """Binary key; sorts by (dataset, run, subrun, event)."""
+        return self.subrun.key() + b"|E|" + _encode_u64(self.event)
+
+    @property
+    def dataset(self) -> DataSetID:
+        """The dataset this event ultimately belongs to."""
+        return self.subrun.run.dataset
+
+    def as_tuple(self) -> Tuple[str, int, int, int]:
+        """``(dataset, run, subrun, event)`` tuple, as used by the PEP queues."""
+        return (
+            self.subrun.run.dataset.name,
+            self.subrun.run.run,
+            self.subrun.subrun,
+            self.event,
+        )
+
+    @classmethod
+    def from_numbers(
+        cls, dataset: str, run: int, subrun: int, event: int
+    ) -> "EventID":
+        """Convenience constructor from plain numbers."""
+        return cls(
+            subrun=SubRunID(run=RunID(dataset=DataSetID(dataset), run=run), subrun=subrun),
+            event=event,
+        )
+
+    def _tuple(self) -> Tuple:
+        return self.as_tuple()
+
+    def __lt__(self, other: "EventID") -> bool:
+        return self._tuple() < other._tuple()
+
+
+@total_ordering
+@dataclass(frozen=True)
+class ProductID:
+    """A data product attached to an event (the payload-carrying object)."""
+
+    event: EventID
+    label: str
+
+    def key(self) -> bytes:
+        """Binary key; products of an event share the event-key prefix."""
+        return self.event.key() + b"|P|" + self.label.encode("utf-8")
+
+    def _tuple(self) -> Tuple:
+        return self.event.as_tuple() + (self.label,)
+
+    def __lt__(self, other: "ProductID") -> bool:
+        return self._tuple() < other._tuple()
+
+
+def parse_event_key(key: bytes) -> Tuple[str, int, int, int]:
+    """Decode an event key back into ``(dataset, run, subrun, event)``.
+
+    Raises
+    ------
+    ValueError
+        If the key is not a well-formed event key.
+    """
+    try:
+        if not key.startswith(b"DS|"):
+            raise ValueError("missing dataset prefix")
+        rest = key[3:]
+        name, _, rest = rest.partition(b"|R|")
+        run_bytes, _, rest = rest.partition(b"|S|")
+        subrun_bytes, _, event_bytes = rest.partition(b"|E|")
+        if len(run_bytes) != 4 or len(subrun_bytes) != 4 or len(event_bytes) != 8:
+            raise ValueError("malformed numeric fields")
+        return (
+            name.decode("utf-8"),
+            _U32.unpack(run_bytes)[0],
+            _U32.unpack(subrun_bytes)[0],
+            _U64.unpack(event_bytes)[0],
+        )
+    except (ValueError, struct.error) as exc:
+        raise ValueError(f"not a valid event key: {key!r}") from exc

@@ -1,0 +1,135 @@
+"""One HEPnOS server process.
+
+A server process is bootstrapped by Bedrock from a
+:class:`~repro.mochi.bedrock.ServiceConfig`: it instantiates a Margo engine
+(progress loop), the configured Argobots pools, the Yokan providers and their
+event/product databases, and registers its CPU footprint with the node it runs
+on (dedicated progress threads and busy-spinning pools pin cores; the RPC
+execution streams count as worker threads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim import Environment
+from repro.mochi.argobots import Pool, PoolKind
+from repro.mochi.bedrock import ServiceConfig
+from repro.mochi.margo import MargoEngine, ProgressMode
+from repro.mochi.yokan import Database, DatabaseType, Provider, YokanCostModel
+from repro.platform import Node
+
+__all__ = ["HEPnOSServer"]
+
+
+class HEPnOSServer:
+    """A single HEPnOS server process built from a Bedrock configuration.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    node:
+        The :class:`~repro.platform.Node` hosting the process.
+    config:
+        Validated Bedrock service configuration.
+    server_id:
+        Index of this server within the whole service.
+    yokan_costs:
+        Cost model shared by all databases of this server.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        config: ServiceConfig,
+        server_id: int = 0,
+        yokan_costs: Optional[YokanCostModel] = None,
+    ):
+        config.validate()
+        self.env = env
+        self.node = node
+        self.config = config
+        self.server_id = int(server_id)
+        self.yokan_costs = yokan_costs or YokanCostModel()
+
+        # --- Margo engine (progress loop) ---------------------------------
+        self.engine = MargoEngine(
+            env,
+            nic=node.nic,
+            progress_mode=ProgressMode(config.margo.progress_mode),
+            dedicated_progress_thread=config.margo.dedicated_progress_thread,
+            name=f"hepnos-server-{server_id}",
+        )
+
+        # --- Argobots pools -------------------------------------------------
+        self.pools: Dict[str, Pool] = {}
+        for pool_cfg in config.pools:
+            self.pools[pool_cfg.name] = Pool(
+                env,
+                kind=PoolKind(pool_cfg.kind),
+                num_xstreams=pool_cfg.num_xstreams,
+                name=f"srv{server_id}:{pool_cfg.name}",
+            )
+        self.engine.handler_pool = self.pools[config.margo.rpc_pool]
+
+        # --- Providers and databases ----------------------------------------
+        self.providers: List[Provider] = []
+        self.event_databases: List[Database] = []
+        self.product_databases: List[Database] = []
+        for prov_cfg in config.providers:
+            pool = self.pools[prov_cfg.pool]
+            provider = Provider(prov_cfg.provider_id, pool)
+            for db_cfg in prov_cfg.databases:
+                db = Database(
+                    env,
+                    name=f"srv{server_id}:{db_cfg.name}",
+                    db_type=DatabaseType(db_cfg.db_type),
+                    cost_model=self.yokan_costs,
+                )
+                provider.add_database(db)
+                if db_cfg.role == "events":
+                    self.event_databases.append(db)
+                elif db_cfg.role == "products":
+                    self.product_databases.append(db)
+            self.providers.append(provider)
+
+        self._provider_of_db: Dict[str, Provider] = {}
+        for provider in self.providers:
+            for db in provider.databases:
+                self._provider_of_db[db.name] = provider
+
+        # --- CPU footprint ----------------------------------------------------
+        node.register_pinned(self.engine.pinned_cores())
+        for pool in self.pools.values():
+            node.register_pinned(pool.cpu_occupancy())
+        # RPC execution streams of blocking pools count as workers (they are
+        # busy only while requests are being serviced).
+        node.register_workers(
+            sum(
+                p.num_xstreams
+                for p in self.pools.values()
+                if not p.busy_spins_when_idle
+            )
+        )
+
+    # ----------------------------------------------------------------- lookup
+    def provider_for(self, database: Database) -> Provider:
+        """The provider serving ``database`` (determines the handler pool)."""
+        return self._provider_of_db[database.name]
+
+    def pool_for(self, database: Database) -> Pool:
+        """The Argobots pool in which requests for ``database`` execute."""
+        return self.provider_for(database).pool
+
+    @property
+    def num_databases(self) -> int:
+        """Total number of databases hosted by this server."""
+        return len(self.event_databases) + len(self.product_databases)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<HEPnOSServer {self.server_id} node={self.node.name!r} "
+            f"events={len(self.event_databases)} products={len(self.product_databases)}>"
+        )

@@ -1,0 +1,140 @@
+"""The distributed HEPnOS service: all servers across all HEPnOS nodes.
+
+The service aggregates every server's event and product databases into two
+flat, globally indexed lists and implements the data-distribution policy the
+paper describes: all the events coming from the same input file end up in the
+same event database (and likewise for products), selected by hashing the file
+identifier.  The PEP application later assigns one listing process per event
+database.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim import Environment
+from repro.mochi.bedrock import ServiceConfig
+from repro.mochi.yokan import Database, YokanCostModel
+from repro.mochi.argobots import Pool
+from repro.hepnos.server import HEPnOSServer
+from repro.platform import Node
+
+__all__ = ["HEPnOSService"]
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic (process-independent) hash used for data distribution."""
+    return int.from_bytes(hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class HEPnOSService:
+    """A running HEPnOS deployment.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    nodes:
+        The HEPnOS nodes of the allocation.
+    config:
+        Bedrock configuration applied to every server process.
+    servers_per_node:
+        Number of HEPnOS server processes per node (the paper's server-side
+        ``PESperNode`` parameter, extended space only; defaults to 1).
+    yokan_costs:
+        Shared Yokan cost model.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Sequence[Node],
+        config: ServiceConfig,
+        servers_per_node: int = 1,
+        yokan_costs: Optional[YokanCostModel] = None,
+    ):
+        if not nodes:
+            raise ValueError("the service needs at least one node")
+        if servers_per_node < 1:
+            raise ValueError("servers_per_node must be >= 1")
+        self.env = env
+        self.nodes = list(nodes)
+        self.config = config
+        self.servers_per_node = int(servers_per_node)
+
+        self.servers: List[HEPnOSServer] = []
+        server_id = 0
+        for node in self.nodes:
+            for _ in range(self.servers_per_node):
+                self.servers.append(
+                    HEPnOSServer(
+                        env,
+                        node=node,
+                        config=config,
+                        server_id=server_id,
+                        yokan_costs=yokan_costs,
+                    )
+                )
+                server_id += 1
+
+        # Global database indices: (server, database) pairs.
+        self.event_databases: List[Tuple[HEPnOSServer, Database]] = [
+            (srv, db) for srv in self.servers for db in srv.event_databases
+        ]
+        self.product_databases: List[Tuple[HEPnOSServer, Database]] = [
+            (srv, db) for srv in self.servers for db in srv.product_databases
+        ]
+        if not self.event_databases or not self.product_databases:
+            raise ValueError("the service must expose event and product databases")
+
+    # ------------------------------------------------------------- distribution
+    @property
+    def num_event_databases(self) -> int:
+        """Total number of event databases across the whole service."""
+        return len(self.event_databases)
+
+    @property
+    def num_product_databases(self) -> int:
+        """Total number of product databases across the whole service."""
+        return len(self.product_databases)
+
+    def event_db_for_file(self, file_name: str) -> int:
+        """Global index of the event database all of ``file_name``'s events go to."""
+        return _stable_hash(file_name) % self.num_event_databases
+
+    def product_db_for_file(self, file_name: str) -> int:
+        """Global index of the product database all of ``file_name``'s products go to."""
+        return _stable_hash("products:" + file_name) % self.num_product_databases
+
+    def event_db(self, index: int) -> Tuple[HEPnOSServer, Database]:
+        """The (server, database) pair of event database ``index``."""
+        return self.event_databases[index]
+
+    def product_db(self, index: int) -> Tuple[HEPnOSServer, Database]:
+        """The (server, database) pair of product database ``index``."""
+        return self.product_databases[index]
+
+    def handler_pool_for_event_db(self, index: int) -> Pool:
+        """The Argobots pool servicing requests for event database ``index``."""
+        server, db = self.event_databases[index]
+        return server.pool_for(db)
+
+    def handler_pool_for_product_db(self, index: int) -> Pool:
+        """The Argobots pool servicing requests for product database ``index``."""
+        server, db = self.product_databases[index]
+        return server.pool_for(db)
+
+    # ------------------------------------------------------------------ stats
+    def total_entries(self) -> int:
+        """Total number of key/value entries stored across all databases."""
+        return sum(len(db) for _, db in self.event_databases) + sum(
+            len(db) for _, db in self.product_databases
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<HEPnOSService servers={len(self.servers)} "
+            f"event_dbs={self.num_event_databases} "
+            f"product_dbs={self.num_product_databases}>"
+        )

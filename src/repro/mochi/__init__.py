@@ -1,0 +1,53 @@
+"""Simulated Mochi software stack.
+
+HEPnOS (the storage service autotuned in the paper) is built from the Mochi
+components (Ross et al., JCST 2020).  This subpackage provides discrete-event
+models of each component, faithful to the *performance-relevant* behaviour the
+paper's parameters control:
+
+* :mod:`repro.mochi.mercury` — Mercury: RPC and RDMA transfer cost model plus
+  per-node network interface contention.
+* :mod:`repro.mochi.argobots` — Argobots: execution streams and thread pools
+  (``fifo``, ``fifo_wait``, ``prio_wait``) with kind-dependent dispatch
+  overhead and CPU occupancy.
+* :mod:`repro.mochi.margo` — Margo: binds Mercury and Argobots, models the
+  network progress loop (dedicated progress thread or not, busy spinning or
+  blocking ``epoll``).
+* :mod:`repro.mochi.yokan` — Yokan: key/value databases with put/get/list
+  cost models and per-database write serialisation.
+* :mod:`repro.mochi.bedrock` — Bedrock: JSON service configuration and
+  bootstrapping (validation + instantiation helpers).
+"""
+
+from repro.mochi.mercury import NetworkInterface, NetworkModel, TransferKind
+from repro.mochi.argobots import Pool, PoolKind
+from repro.mochi.margo import MargoEngine, ProgressMode
+from repro.mochi.yokan import Database, DatabaseType, Provider, YokanCostModel
+from repro.mochi.bedrock import (
+    BedrockError,
+    DatabaseConfig,
+    MargoConfig,
+    PoolConfig,
+    ProviderConfig,
+    ServiceConfig,
+)
+
+__all__ = [
+    "BedrockError",
+    "Database",
+    "DatabaseConfig",
+    "DatabaseType",
+    "MargoConfig",
+    "MargoEngine",
+    "NetworkInterface",
+    "NetworkModel",
+    "Pool",
+    "PoolConfig",
+    "PoolKind",
+    "ProgressMode",
+    "Provider",
+    "ProviderConfig",
+    "ServiceConfig",
+    "TransferKind",
+    "YokanCostModel",
+]

@@ -1,0 +1,294 @@
+"""Bedrock: service configuration and bootstrapping.
+
+Bedrock is Mochi's configuration/bootstrapping component: a whole service
+(Margo runtime, Argobots pools, providers, databases) is described by a single
+JSON document.  The paper leans on this ("all these parameters can easily be
+provided from a single JSON file"), and the autotuner ultimately rewrites this
+document for every evaluated configuration.
+
+This module provides:
+
+* dataclasses mirroring the relevant pieces of a Bedrock JSON document
+  (:class:`PoolConfig`, :class:`MargoConfig`, :class:`DatabaseConfig`,
+  :class:`ProviderConfig`, :class:`ServiceConfig`),
+* JSON (de)serialisation and validation, and
+* :meth:`ServiceConfig.from_tuning_parameters` which maps the paper's HEPnOS
+  tuning parameters (Fig. 1) onto a concrete service description.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping
+
+from repro.mochi.argobots import PoolKind
+from repro.mochi.margo import ProgressMode
+from repro.mochi.yokan import DatabaseType
+
+__all__ = [
+    "BedrockError",
+    "PoolConfig",
+    "MargoConfig",
+    "DatabaseConfig",
+    "ProviderConfig",
+    "ServiceConfig",
+]
+
+
+class BedrockError(ValueError):
+    """Raised when a service configuration document is invalid."""
+
+
+@dataclass
+class PoolConfig:
+    """One Argobots pool in the service configuration."""
+
+    name: str
+    kind: str = PoolKind.FIFO_WAIT.value
+    num_xstreams: int = 1
+
+    def validate(self) -> None:
+        if not self.name:
+            raise BedrockError("pool name must not be empty")
+        try:
+            PoolKind(self.kind)
+        except ValueError:
+            raise BedrockError(
+                f"pool {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {[k.value for k in PoolKind]})"
+            ) from None
+        if self.num_xstreams < 1:
+            raise BedrockError(f"pool {self.name!r}: num_xstreams must be >= 1")
+
+
+@dataclass
+class MargoConfig:
+    """Margo runtime configuration of one process."""
+
+    progress_mode: str = ProgressMode.EPOLL.value
+    dedicated_progress_thread: bool = False
+    rpc_pool: str = "__primary__"
+
+    def validate(self) -> None:
+        try:
+            ProgressMode(self.progress_mode)
+        except ValueError:
+            raise BedrockError(
+                f"unknown progress_mode {self.progress_mode!r} "
+                f"(expected one of {[m.value for m in ProgressMode]})"
+            ) from None
+        if not self.rpc_pool:
+            raise BedrockError("rpc_pool must not be empty")
+
+
+@dataclass
+class DatabaseConfig:
+    """One Yokan database."""
+
+    name: str
+    db_type: str = DatabaseType.MAP.value
+    role: str = "events"
+
+    VALID_ROLES = ("events", "products", "metadata")
+
+    def validate(self) -> None:
+        if not self.name:
+            raise BedrockError("database name must not be empty")
+        try:
+            DatabaseType(self.db_type)
+        except ValueError:
+            raise BedrockError(f"database {self.name!r}: unknown type {self.db_type!r}") from None
+        if self.role not in self.VALID_ROLES:
+            raise BedrockError(
+                f"database {self.name!r}: unknown role {self.role!r} "
+                f"(expected one of {self.VALID_ROLES})"
+            )
+
+
+@dataclass
+class ProviderConfig:
+    """One Yokan provider: a pool plus the databases it serves."""
+
+    provider_id: int
+    pool: str
+    databases: List[DatabaseConfig] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.provider_id < 0:
+            raise BedrockError("provider_id must be non-negative")
+        if not self.pool:
+            raise BedrockError(f"provider {self.provider_id}: pool must not be empty")
+        for db in self.databases:
+            db.validate()
+
+
+@dataclass
+class ServiceConfig:
+    """A full Bedrock service description for one HEPnOS server process."""
+
+    margo: MargoConfig = field(default_factory=MargoConfig)
+    pools: List[PoolConfig] = field(default_factory=list)
+    providers: List[ProviderConfig] = field(default_factory=list)
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Raise :class:`BedrockError` if the composition is inconsistent."""
+        self.margo.validate()
+        names = [p.name for p in self.pools]
+        if len(set(names)) != len(names):
+            raise BedrockError(f"duplicate pool names: {names}")
+        for pool in self.pools:
+            pool.validate()
+        known_pools = set(names)
+        if self.margo.rpc_pool not in known_pools:
+            raise BedrockError(
+                f"margo.rpc_pool {self.margo.rpc_pool!r} is not a declared pool"
+            )
+        provider_ids = [p.provider_id for p in self.providers]
+        if len(set(provider_ids)) != len(provider_ids):
+            raise BedrockError(f"duplicate provider ids: {provider_ids}")
+        db_names: List[str] = []
+        for provider in self.providers:
+            provider.validate()
+            if provider.pool not in known_pools:
+                raise BedrockError(
+                    f"provider {provider.provider_id}: pool {provider.pool!r} is not declared"
+                )
+            db_names.extend(db.name for db in provider.databases)
+        if len(set(db_names)) != len(db_names):
+            raise BedrockError(f"duplicate database names: {db_names}")
+
+    # ------------------------------------------------------------------- json
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict representation (JSON-compatible)."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        """Build a configuration from a plain dict (inverse of :meth:`to_dict`)."""
+        try:
+            margo = MargoConfig(**data.get("margo", {}))
+            pools = [PoolConfig(**p) for p in data.get("pools", [])]
+            providers = []
+            for p in data.get("providers", []):
+                dbs = [DatabaseConfig(**d) for d in p.get("databases", [])]
+                providers.append(
+                    ProviderConfig(
+                        provider_id=p["provider_id"], pool=p["pool"], databases=dbs
+                    )
+                )
+        except (TypeError, KeyError) as exc:
+            raise BedrockError(f"malformed service configuration: {exc}") from exc
+        config = cls(margo=margo, pools=pools, providers=providers)
+        config.validate()
+        return config
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceConfig":
+        """Parse and validate a JSON service document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BedrockError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # --------------------------------------------------- paper parameter glue
+    @classmethod
+    def from_tuning_parameters(
+        cls,
+        num_event_dbs: int,
+        num_product_dbs: int,
+        num_providers: int,
+        num_rpc_threads: int,
+        pool_type: str = PoolKind.FIFO_WAIT.value,
+        progress_thread: bool = False,
+        busy_spin: bool = False,
+    ) -> "ServiceConfig":
+        """Build a server configuration from the paper's HEPnOS parameters.
+
+        Parameters map one-to-one onto Fig. 1 of the paper:
+        ``NumEventDBs``, ``NumProductDBs``, ``NumProviders``,
+        ``NumRPCthreads``, ``ThreadPoolType``, ``ProgressThread`` and the
+        common ``BusySpin``.
+
+        Databases are assigned to providers round-robin, and the RPC execution
+        streams are split across the provider pools (each provider gets at
+        least one stream, mirroring HEPnOS's behaviour of never starving a
+        provider).
+        """
+        if num_event_dbs < 1 or num_product_dbs < 1:
+            raise BedrockError("need at least one event and one product database")
+        if num_providers < 1:
+            raise BedrockError("need at least one provider")
+        if num_rpc_threads < 0:
+            raise BedrockError("num_rpc_threads must be non-negative")
+
+        margo = MargoConfig(
+            progress_mode=(
+                ProgressMode.BUSY_SPIN.value if busy_spin else ProgressMode.EPOLL.value
+            ),
+            dedicated_progress_thread=progress_thread,
+            rpc_pool="__primary__",
+        )
+
+        pools = [PoolConfig(name="__primary__", kind=PoolKind.FIFO_WAIT.value, num_xstreams=1)]
+        # Split the RPC execution streams across provider pools; zero RPC
+        # threads means everything is handled by the primary (progress) pool,
+        # which is the slow path the paper's NumRPCthreads=0 corresponds to.
+        streams_per_provider = _split_streams(num_rpc_threads, num_providers)
+        providers: List[ProviderConfig] = []
+        for pid in range(num_providers):
+            pool_name = f"__pool_{pid}__"
+            if streams_per_provider[pid] > 0:
+                pools.append(
+                    PoolConfig(
+                        name=pool_name,
+                        kind=pool_type,
+                        num_xstreams=streams_per_provider[pid],
+                    )
+                )
+            else:
+                pool_name = "__primary__"
+            providers.append(ProviderConfig(provider_id=pid, pool=pool_name))
+
+        # Round-robin database assignment across providers.
+        for i in range(num_event_dbs):
+            providers[i % num_providers].databases.append(
+                DatabaseConfig(name=f"hepnos-events-{i}", role="events")
+            )
+        for i in range(num_product_dbs):
+            providers[i % num_providers].databases.append(
+                DatabaseConfig(name=f"hepnos-products-{i}", role="products")
+            )
+
+        config = cls(margo=margo, pools=pools, providers=providers)
+        config.validate()
+        return config
+
+    # ---------------------------------------------------------------- queries
+    def databases_with_role(self, role: str) -> List[DatabaseConfig]:
+        """All databases with the given role, across all providers."""
+        return [
+            db
+            for provider in self.providers
+            for db in provider.databases
+            if db.role == role
+        ]
+
+    def total_rpc_xstreams(self) -> int:
+        """Total execution streams dedicated to provider pools."""
+        provider_pools = {p.pool for p in self.providers} - {"__primary__"}
+        return sum(p.num_xstreams for p in self.pools if p.name in provider_pools)
+
+
+def _split_streams(total: int, buckets: int) -> List[int]:
+    """Split ``total`` execution streams across ``buckets`` provider pools."""
+    if buckets <= 0:
+        return []
+    base, rem = divmod(int(total), int(buckets))
+    return [base + (1 if i < rem else 0) for i in range(buckets)]

@@ -1,0 +1,261 @@
+"""Search-space discovery from a Bedrock configuration schema.
+
+The paper's conclusion sketches its follow-up work: "a generic framework
+[for Mochi-based services] brings the challenge of discovering parameters
+from a schema of a valid configuration file alongside a set of constraints."
+This module implements that extension for the simulated stack:
+
+* a **schema** is a JSON-compatible document shaped like a Bedrock service
+  configuration in which any scalar value may be replaced by a *parameter
+  descriptor* — ``{"__param__": {...}}`` — declaring its name, type and
+  domain;
+* :func:`discover_space` walks the schema and builds the corresponding
+  :class:`~repro.core.space.SearchSpace`, together with optional cross-
+  parameter **constraints** (expressed as named predicates over
+  configurations);
+* :func:`instantiate` substitutes a concrete configuration back into the
+  schema, producing a plain document ready for
+  :meth:`~repro.mochi.bedrock.ServiceConfig.from_dict`;
+* :class:`ConstrainedPrior` wraps any joint prior with rejection sampling so
+  the search only proposes configurations satisfying the constraints (the
+  feasible set ``D`` of Eq. 1).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.priors import IndependentPrior, JointPrior
+from repro.core.space import (
+    CategoricalParameter,
+    Configuration,
+    IntegerParameter,
+    OrdinalParameter,
+    Parameter,
+    RealParameter,
+    SearchSpace,
+)
+
+__all__ = [
+    "SchemaError",
+    "Constraint",
+    "discover_space",
+    "instantiate",
+    "ConstrainedPrior",
+]
+
+#: Key marking a parameter descriptor inside a schema document.
+PARAM_KEY = "__param__"
+
+
+class SchemaError(ValueError):
+    """Raised when a schema document or parameter descriptor is malformed."""
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named feasibility predicate over full configurations.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (used in error messages and reports).
+    predicate:
+        Callable taking a configuration dict and returning True when the
+        configuration is feasible.
+    description:
+        Human-readable explanation of the constraint.
+    """
+
+    name: str
+    predicate: Callable[[Configuration], bool]
+    description: str = ""
+
+    def satisfied(self, configuration: Configuration) -> bool:
+        """Whether ``configuration`` satisfies this constraint."""
+        return bool(self.predicate(configuration))
+
+
+def _parse_descriptor(name_hint: str, descriptor: Mapping[str, Any]) -> Parameter:
+    """Build a :class:`Parameter` from one ``__param__`` descriptor."""
+    if not isinstance(descriptor, Mapping):
+        raise SchemaError(f"{name_hint}: parameter descriptor must be a mapping")
+    name = descriptor.get("name", name_hint)
+    kind = descriptor.get("type")
+    if kind == "integer":
+        try:
+            low, high = descriptor["low"], descriptor["high"]
+        except KeyError as exc:
+            raise SchemaError(f"{name}: integer parameters need 'low' and 'high'") from exc
+        return IntegerParameter(name, int(low), int(high), log=bool(descriptor.get("log", False)))
+    if kind == "real":
+        try:
+            low, high = descriptor["low"], descriptor["high"]
+        except KeyError as exc:
+            raise SchemaError(f"{name}: real parameters need 'low' and 'high'") from exc
+        return RealParameter(name, float(low), float(high), log=bool(descriptor.get("log", False)))
+    if kind == "categorical":
+        choices = descriptor.get("choices")
+        if not choices:
+            raise SchemaError(f"{name}: categorical parameters need 'choices'")
+        return CategoricalParameter(name, tuple(choices))
+    if kind == "ordinal":
+        values = descriptor.get("values")
+        if not values:
+            raise SchemaError(f"{name}: ordinal parameters need 'values'")
+        return OrdinalParameter(name, tuple(values))
+    if kind == "boolean":
+        return CategoricalParameter.boolean(name)
+    raise SchemaError(
+        f"{name}: unknown parameter type {kind!r} "
+        "(expected integer, real, categorical, ordinal or boolean)"
+    )
+
+
+def _walk(node: Any, path: str, found: List[Tuple[str, Parameter]]) -> None:
+    if isinstance(node, Mapping):
+        if PARAM_KEY in node:
+            if len(node) != 1:
+                raise SchemaError(f"{path}: a parameter descriptor must be the only key")
+            found.append((path, _parse_descriptor(_name_from_path(path), node[PARAM_KEY])))
+            return
+        for key, value in node.items():
+            _walk(value, f"{path}.{key}" if path else str(key), found)
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            _walk(value, f"{path}[{index}]", found)
+
+
+def _name_from_path(path: str) -> str:
+    return path.replace(".", "_").replace("[", "_").replace("]", "")
+
+
+def discover_space(
+    schema: Union[str, Mapping[str, Any]],
+    constraints: Optional[Sequence[Constraint]] = None,
+    name: str = "",
+) -> Tuple[SearchSpace, List[Constraint]]:
+    """Discover the tunable parameters of a schema document.
+
+    Parameters
+    ----------
+    schema:
+        The schema as a dict or a JSON string.
+    constraints:
+        Optional feasibility constraints attached to the discovered space.
+    name:
+        Name given to the resulting :class:`SearchSpace`.
+
+    Returns
+    -------
+    ``(space, constraints)`` — the discovered space (parameters appear in
+    document order) and the validated constraint list.
+    """
+    document = json.loads(schema) if isinstance(schema, str) else schema
+    if not isinstance(document, Mapping):
+        raise SchemaError("the schema root must be a JSON object")
+    found: List[Tuple[str, Parameter]] = []
+    _walk(document, "", found)
+    if not found:
+        raise SchemaError("the schema declares no tunable parameters")
+    names = [p.name for _, p in found]
+    if len(set(names)) != len(names):
+        raise SchemaError(f"duplicate parameter names discovered: {names}")
+    space = SearchSpace([p for _, p in found], name=name)
+    return space, list(constraints or [])
+
+
+def instantiate(
+    schema: Union[str, Mapping[str, Any]],
+    configuration: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Substitute a configuration into a schema, yielding a concrete document.
+
+    Every ``__param__`` descriptor is replaced by the configuration's value
+    for that parameter; non-parameter content is deep-copied unchanged.
+    """
+    document = json.loads(schema) if isinstance(schema, str) else copy.deepcopy(schema)
+
+    def substitute(node: Any, path: str) -> Any:
+        if isinstance(node, Mapping):
+            if PARAM_KEY in node:
+                descriptor = node[PARAM_KEY]
+                name = descriptor.get("name", _name_from_path(path))
+                if name not in configuration:
+                    raise SchemaError(f"configuration is missing parameter {name!r}")
+                return configuration[name]
+            return {
+                key: substitute(value, f"{path}.{key}" if path else str(key))
+                for key, value in node.items()
+            }
+        if isinstance(node, list):
+            return [substitute(value, f"{path}[{i}]") for i, value in enumerate(node)]
+        return node
+
+    return substitute(document, "")
+
+
+class ConstrainedPrior(JointPrior):
+    """Rejection-sampling wrapper enforcing feasibility constraints (Eq. 1's D).
+
+    Parameters
+    ----------
+    base:
+        The underlying joint prior (uninformative or transfer-learned).
+    constraints:
+        Constraints every returned configuration must satisfy.
+    max_attempts:
+        Upper bound on resampling rounds before giving up and returning the
+        feasible configurations found so far (a safeguard against infeasible
+        constraint systems).
+    """
+
+    def __init__(
+        self,
+        base: JointPrior,
+        constraints: Sequence[Constraint],
+        max_attempts: int = 50,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.base = base
+        self.constraints = list(constraints)
+        self.max_attempts = int(max_attempts)
+        self.space = base.space
+
+    @classmethod
+    def uniform(cls, space: SearchSpace, constraints: Sequence[Constraint]) -> "ConstrainedPrior":
+        """Constrained version of the space's default independent prior."""
+        return cls(IndependentPrior(space), constraints)
+
+    def feasible(self, configuration: Configuration) -> bool:
+        """Whether a configuration satisfies every constraint."""
+        return all(c.satisfied(configuration) for c in self.constraints)
+
+    def violated(self, configuration: Configuration) -> List[str]:
+        """Names of the constraints a configuration violates."""
+        return [c.name for c in self.constraints if not c.satisfied(configuration)]
+
+    def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        if n <= 0:
+            return []
+        accepted: List[Configuration] = []
+        attempts = 0
+        while len(accepted) < n and attempts < self.max_attempts:
+            batch = self.base.sample_configurations(max(n - len(accepted), 4), rng)
+            accepted.extend(c for c in batch if self.feasible(c))
+            attempts += 1
+        if not accepted:
+            raise SchemaError(
+                "could not draw any feasible configuration; the constraints may be "
+                "unsatisfiable under the given prior"
+            )
+        # Top up with repeats of feasible samples if rejection was very harsh.
+        while len(accepted) < n:
+            accepted.append(dict(accepted[len(accepted) % max(1, len(accepted))]))
+        return accepted[:n]

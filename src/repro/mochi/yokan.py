@@ -1,0 +1,251 @@
+"""Yokan: key/value storage microservice.
+
+HEPnOS stores every event and product as key/value pairs in a distributed set
+of Yokan databases.  The paper's parameters ``NumEventDBs``, ``NumProductDBs``
+and ``NumProviders`` control how many databases exist per server and how they
+map onto Argobots pools.
+
+The simulation keeps an actual in-memory dictionary per database — the HEPnOS
+data-model tests exercise real reads and writes — and attaches a cost model
+for the time each operation takes, including batch amortisation and
+single-writer serialisation per database (which is what makes "more
+databases" attractive up to a point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim import Environment, Resource
+from repro.mochi.argobots import Pool
+
+__all__ = ["DatabaseType", "YokanCostModel", "Database", "Provider"]
+
+
+class DatabaseType(str, Enum):
+    """Backend type of a Yokan database (all in-memory here, as in HEPnOS)."""
+
+    MAP = "map"
+    UNORDERED_MAP = "unordered_map"
+
+
+@dataclass(frozen=True)
+class YokanCostModel:
+    """Operation cost constants for a Yokan database.
+
+    Attributes
+    ----------
+    put_overhead:
+        Fixed CPU cost of a single put, seconds.
+    get_overhead:
+        Fixed CPU cost of a single get, seconds.
+    per_byte:
+        Cost per byte of value (de)serialisation, seconds/byte.
+    batch_overhead:
+        Fixed cost of a batched (multi) operation, seconds.
+    batch_per_item:
+        Marginal cost per item inside a batched operation, seconds — smaller
+        than the single-op overhead, which is what makes batching worthwhile.
+    list_overhead:
+        Fixed cost of a key-listing operation, seconds.
+    list_per_key:
+        Marginal cost per key returned by a listing, seconds.
+    """
+
+    put_overhead: float = 6.0e-6
+    get_overhead: float = 4.0e-6
+    per_byte: float = 2.5e-10
+    batch_overhead: float = 10.0e-6
+    batch_per_item: float = 1.2e-6
+    list_overhead: float = 20.0e-6
+    list_per_key: float = 0.3e-6
+
+    # ------------------------------------------------------------------ costs
+    def put_time(self, value_size: int) -> float:
+        """CPU time of a single put of ``value_size`` bytes."""
+        return self.put_overhead + value_size * self.per_byte
+
+    def get_time(self, value_size: int) -> float:
+        """CPU time of a single get returning ``value_size`` bytes."""
+        return self.get_overhead + value_size * self.per_byte
+
+    def multi_put_time(self, count: int, total_bytes: int) -> float:
+        """CPU time of a batched put of ``count`` items totalling ``total_bytes``."""
+        if count <= 0:
+            return 0.0
+        return self.batch_overhead + count * self.batch_per_item + total_bytes * self.per_byte
+
+    def multi_get_time(self, count: int, total_bytes: int) -> float:
+        """CPU time of a batched get of ``count`` items totalling ``total_bytes``."""
+        if count <= 0:
+            return 0.0
+        return self.batch_overhead + count * self.batch_per_item + total_bytes * self.per_byte
+
+    def list_time(self, count: int) -> float:
+        """CPU time of listing ``count`` keys."""
+        return self.list_overhead + count * self.list_per_key
+
+
+class Database:
+    """A single Yokan key/value database.
+
+    Writes are serialised through a single-writer lock (one request at a
+    time), reads are assumed concurrent.  The stored mapping is real, so the
+    HEPnOS data model on top of it can be tested for correctness, not just for
+    timing.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Database name (HEPnOS uses e.g. ``hepnos-events-0``).
+    db_type:
+        Backend type (timing is identical; kept for configuration fidelity).
+    cost_model:
+        The operation cost model.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        db_type: DatabaseType = DatabaseType.MAP,
+        cost_model: Optional[YokanCostModel] = None,
+    ):
+        self.env = env
+        self.name = name
+        self.db_type = DatabaseType(db_type)
+        self.cost_model = cost_model or YokanCostModel()
+        self._data: Dict[bytes, bytes] = {}
+        self._write_lock = Resource(env, capacity=1, name=f"db:{name}")
+        self.puts = 0
+        self.gets = 0
+
+    # ----------------------------------------------------------- direct state
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def keys(self) -> List[bytes]:
+        """All keys currently stored (sorted, as in Yokan's ``map`` backend)."""
+        return sorted(self._data.keys())
+
+    def value_of(self, key: bytes) -> bytes:
+        """Direct (zero-cost) access to a stored value, for assertions."""
+        return self._data[key]
+
+    # -------------------------------------------------------------- processes
+    def put(self, key: bytes, value: bytes):
+        """DES generator: store one key/value pair."""
+        cost = self.cost_model.put_time(len(value))
+        with self._write_lock.request() as req:
+            yield req
+            yield self.env.timeout(cost)
+            self._data[bytes(key)] = bytes(value)
+        self.puts += 1
+        return cost
+
+    def put_multi(self, items: Iterable[Tuple[bytes, bytes]]):
+        """DES generator: store a batch of key/value pairs atomically."""
+        items = list(items)
+        total_bytes = sum(len(v) for _, v in items)
+        cost = self.cost_model.multi_put_time(len(items), total_bytes)
+        with self._write_lock.request() as req:
+            yield req
+            yield self.env.timeout(cost)
+            for key, value in items:
+                self._data[bytes(key)] = bytes(value)
+        self.puts += len(items)
+        return cost
+
+    def bulk_put_accounted(self, count: int, total_bytes: int, record_key: bytes, record_value: bytes):
+        """DES generator: charge the cost of ``count`` puts, store one record.
+
+        The HEP workflow stores hundreds of thousands of events per run; to
+        keep the discrete-event simulation tractable, the workflow clients
+        account whole *blocks* of puts (the time charged is exactly the cost
+        of ``count`` items totalling ``total_bytes``) while materialising a
+        single summary record that downstream steps read back.
+        """
+        if count < 0 or total_bytes < 0:
+            raise ValueError("count and total_bytes must be non-negative")
+        cost = self.cost_model.multi_put_time(count, total_bytes)
+        with self._write_lock.request() as req:
+            yield req
+            yield self.env.timeout(cost)
+            self._data[bytes(record_key)] = bytes(record_value)
+        self.puts += count
+        return cost
+
+    def bulk_get_accounted(self, count: int, total_bytes: int):
+        """DES generator: charge the cost of ``count`` gets totalling ``total_bytes``."""
+        if count < 0 or total_bytes < 0:
+            raise ValueError("count and total_bytes must be non-negative")
+        cost = self.cost_model.multi_get_time(count, total_bytes)
+        yield self.env.timeout(cost)
+        self.gets += count
+        return cost
+
+    def get(self, key: bytes):
+        """DES generator: fetch one value (returns ``None`` when missing)."""
+        value = self._data.get(bytes(key))
+        cost = self.cost_model.get_time(len(value) if value is not None else 0)
+        yield self.env.timeout(cost)
+        self.gets += 1
+        return value
+
+    def get_multi(self, keys: Iterable[bytes]):
+        """DES generator: fetch a batch of values (missing keys yield ``None``)."""
+        keys = [bytes(k) for k in keys]
+        values = [self._data.get(k) for k in keys]
+        total_bytes = sum(len(v) for v in values if v is not None)
+        cost = self.cost_model.multi_get_time(len(keys), total_bytes)
+        yield self.env.timeout(cost)
+        self.gets += len(keys)
+        return values
+
+    def list_keys(self, prefix: bytes = b""):
+        """DES generator: list all keys starting with ``prefix``."""
+        matching = [k for k in sorted(self._data.keys()) if k.startswith(prefix)]
+        cost = self.cost_model.list_time(len(matching))
+        yield self.env.timeout(cost)
+        return matching
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Database {self.name!r} entries={len(self._data)}>"
+
+
+class Provider:
+    """A Yokan provider: a set of databases served by one Argobots pool.
+
+    HEPnOS spreads its databases over ``NumProviders`` providers per server;
+    each provider's requests execute in that provider's pool, so the number of
+    providers (together with the pool sizes) bounds the server-side request
+    concurrency.
+    """
+
+    def __init__(self, provider_id: int, pool: Pool, databases: Optional[List[Database]] = None):
+        if provider_id < 0:
+            raise ValueError("provider_id must be non-negative")
+        self.provider_id = int(provider_id)
+        self.pool = pool
+        self.databases: List[Database] = list(databases or [])
+
+    def add_database(self, database: Database) -> None:
+        """Attach a database to this provider."""
+        self.databases.append(database)
+
+    def database_by_name(self, name: str) -> Database:
+        """Look up one of this provider's databases by name."""
+        for db in self.databases:
+            if db.name == name:
+                return db
+        raise KeyError(f"provider {self.provider_id} has no database named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Provider {self.provider_id} dbs={len(self.databases)}>"

@@ -1,0 +1,133 @@
+"""Tests for the effectiveness metrics of §IV-A1."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.history import SearchHistory
+from repro.core.space import IntegerParameter, SearchSpace
+from repro.analysis.metrics import (
+    best_runtime,
+    mean_best_runtime,
+    num_evaluations,
+    search_speedup,
+    time_to_reach,
+    utilization_timeline,
+)
+
+
+def space():
+    return SearchSpace([IntegerParameter("x", 0, 100)])
+
+
+def history_from(runtimes_and_times):
+    history = SearchHistory(space())
+    for i, (runtime, completed) in enumerate(runtimes_and_times):
+        history.record({"x": i % 101}, runtime, submitted=completed - 1.0, completed=completed)
+    return history
+
+
+class TestBasicMetrics:
+    def test_best_and_count(self):
+        history = history_from([(50.0, 10.0), (30.0, 20.0), (40.0, 30.0)])
+        assert best_runtime(history) == pytest.approx(30.0)
+        assert num_evaluations(history) == 3
+
+    def test_time_to_reach(self):
+        history = history_from([(50.0, 10.0), (30.0, 20.0), (10.0, 40.0)])
+        assert time_to_reach(history, 35.0) == pytest.approx(20.0)
+        assert time_to_reach(history, 5.0) == float("inf")
+
+
+class TestMeanBest:
+    def test_constant_incumbent(self):
+        history = history_from([(42.0, 10.0)])
+        assert mean_best_runtime(history, 100.0) == pytest.approx(42.0)
+
+    def test_piecewise_average(self):
+        # Incumbent: 100 from t=10, 50 from t=50; horizon 100.
+        history = history_from([(100.0, 10.0), (50.0, 50.0)])
+        # Backward extension: value 100 on [0,50), 50 on [50,100] -> mean 75.
+        assert mean_best_runtime(history, 100.0) == pytest.approx(75.0)
+
+    def test_empty_history_is_nan(self):
+        assert math.isnan(mean_best_runtime(SearchHistory(space()), 100.0))
+
+    def test_mean_best_at_least_best(self):
+        history = history_from([(90.0, 5.0), (60.0, 30.0), (20.0, 80.0)])
+        assert mean_best_runtime(history, 100.0) >= best_runtime(history)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            mean_best_runtime(history_from([(1.0, 1.0)]), 0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=500.0),
+                st.floats(min_value=0.1, max_value=3600.0),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_mean_best_between_best_and_first(self, pairs):
+        pairs = sorted(pairs, key=lambda p: p[1])
+        history = history_from(pairs)
+        value = mean_best_runtime(history, 3600.0)
+        assert best_runtime(history) - 1e-9 <= value
+        first_incumbent = history.incumbent_trajectory()[0][1]
+        assert value <= first_incumbent + 1e-9
+
+
+class TestSearchSpeedup:
+    def test_faster_method_has_higher_speedup(self):
+        fast = history_from([(20.0, 100.0)])
+        slow = history_from([(20.0, 1800.0)])
+        budget = 3600.0
+        assert search_speedup(fast, 25.0, budget) > search_speedup(slow, 25.0, budget)
+
+    def test_speedup_value(self):
+        history = history_from([(20.0, 90.0)])
+        assert search_speedup(history, 25.0, 3600.0) == pytest.approx(40.0)
+
+    def test_never_reaching_target_gives_one(self):
+        history = history_from([(50.0, 100.0)])
+        assert search_speedup(history, 25.0, 3600.0) == 1.0
+
+    def test_nan_baseline_gives_nan(self):
+        history = history_from([(50.0, 100.0)])
+        assert math.isnan(search_speedup(history, float("nan"), 3600.0))
+
+
+class TestUtilizationTimeline:
+    def test_fully_busy_worker(self):
+        timeline = utilization_timeline([(0.0, 100.0)], num_workers=1, max_time=100.0, window=25.0)
+        assert len(timeline) == 4
+        assert all(u == pytest.approx(1.0) for _, u in timeline)
+
+    def test_half_busy_two_workers(self):
+        intervals = [(0.0, 50.0)]
+        timeline = utilization_timeline(intervals, num_workers=2, max_time=100.0, window=50.0)
+        assert timeline[0][1] == pytest.approx(0.5)
+        assert timeline[1][1] == pytest.approx(0.0)
+
+    def test_interval_spanning_windows(self):
+        timeline = utilization_timeline([(10.0, 30.0)], num_workers=1, max_time=40.0, window=20.0)
+        assert timeline[0][1] == pytest.approx(0.5)
+        assert timeline[1][1] == pytest.approx(0.5)
+
+    def test_utilization_never_exceeds_one(self):
+        rng = np.random.default_rng(0)
+        intervals = [(float(s), float(s + rng.uniform(1, 30))) for s in rng.uniform(0, 500, 200)]
+        timeline = utilization_timeline(intervals, num_workers=16, max_time=600.0, window=60.0)
+        assert all(0.0 <= u <= 1.0 + 1e-9 for _, u in timeline)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            utilization_timeline([], num_workers=0, max_time=10.0)
+        with pytest.raises(ValueError):
+            utilization_timeline([], num_workers=1, max_time=10.0, window=0.0)

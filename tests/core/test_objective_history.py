@@ -1,0 +1,153 @@
+"""Tests for the objective transform and the search history."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.history import Evaluation, SearchHistory
+from repro.core.objective import Objective, runtime_objective
+from repro.core.space import CategoricalParameter, IntegerParameter, SearchSpace
+
+
+def space():
+    return SearchSpace(
+        [IntegerParameter("x", 1, 100, log=True), CategoricalParameter.boolean("flag")]
+    )
+
+
+class TestObjective:
+    def test_log_objective_round_trip(self):
+        obj = Objective()
+        for runtime in (0.5, 1.0, 10.0, 600.0):
+            assert obj.to_runtime(obj.from_runtime(runtime)) == pytest.approx(runtime)
+
+    def test_better_runtime_gives_higher_objective(self):
+        obj = Objective()
+        assert obj.from_runtime(10.0) > obj.from_runtime(100.0)
+
+    def test_nan_and_nonpositive_runtimes_map_to_nan(self):
+        obj = Objective()
+        assert math.isnan(obj.from_runtime(float("nan")))
+        assert math.isnan(obj.from_runtime(0.0))
+        assert math.isnan(obj.from_runtime(-3.0))
+
+    def test_linear_objective(self):
+        obj = Objective(use_log=False)
+        assert obj.from_runtime(42.0) == -42.0
+        assert obj.to_runtime(-42.0) == 42.0
+
+    def test_fill_failure_and_is_failure(self):
+        obj = Objective()
+        assert obj.fill_failure(float("nan")) == obj.failure_value
+        assert obj.fill_failure(1.5) == 1.5
+        assert obj.is_failure(float("nan")) and not obj.is_failure(0.0)
+
+    def test_runtime_objective_wrapper(self):
+        evaluate = lambda config: 10.0 if config["x"] > 5 else float("nan")
+        wrapped = runtime_objective(evaluate)
+        assert wrapped({"x": 10}) == pytest.approx(-math.log(10.0))
+        assert math.isnan(wrapped({"x": 1}))
+
+
+class TestSearchHistory:
+    def make_history(self):
+        history = SearchHistory(space())
+        runtimes = [50.0, float("nan"), 20.0, 35.0, 10.0]
+        for i, rt in enumerate(runtimes):
+            history.record(
+                {"x": i + 1, "flag": bool(i % 2)},
+                runtime=rt,
+                submitted=float(i),
+                completed=float(i + 1),
+                worker=i % 2,
+            )
+        return history
+
+    def test_lengths_and_failures(self):
+        history = self.make_history()
+        assert len(history) == 5
+        assert history.num_failures() == 1
+        assert len(history.successful()) == 4
+
+    def test_best_is_minimum_runtime(self):
+        history = self.make_history()
+        assert history.best_runtime() == pytest.approx(10.0)
+        assert history.best().configuration["x"] == 5
+
+    def test_incumbent_trajectory_is_monotone_decreasing(self):
+        trajectory = self.make_history().incumbent_trajectory()
+        values = [v for _, v in trajectory]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(10.0)
+
+    def test_best_runtime_at_times(self):
+        history = self.make_history()
+        assert history.best_runtime_at(0.5) == float("inf")
+        assert history.best_runtime_at(1.0) == pytest.approx(50.0)
+        assert history.best_runtime_at(3.5) == pytest.approx(20.0)
+        assert history.best_runtime_at(100.0) == pytest.approx(10.0)
+
+    def test_top_quantile_returns_best_fraction(self):
+        history = self.make_history()
+        top = history.top_quantile(0.25)
+        assert {c["x"] for c in top} == {5}
+        top_half = history.top_quantile(0.5)
+        assert {c["x"] for c in top_half} == {3, 5}
+
+    def test_top_quantile_invalid_q(self):
+        history = self.make_history()
+        with pytest.raises(ValueError):
+            history.top_quantile(0.0)
+        with pytest.raises(ValueError):
+            history.top_quantile(1.5)
+
+    def test_top_quantile_on_empty_history(self):
+        assert SearchHistory(space()).top_quantile(0.1) == []
+
+    def test_evaluation_properties(self):
+        ev = Evaluation({"x": 1}, objective=float("nan"), runtime=float("nan"),
+                        submitted=1.0, completed=3.0)
+        assert ev.failed
+        assert ev.duration == pytest.approx(2.0)
+
+    def test_csv_round_trip(self, tmp_path):
+        history = self.make_history()
+        path = tmp_path / "history.csv"
+        history.to_csv(path)
+        loaded = SearchHistory.from_csv(path, space())
+        assert len(loaded) == len(history)
+        for a, b in zip(history, loaded):
+            assert a.configuration == b.configuration
+            assert (math.isnan(a.runtime) and math.isnan(b.runtime)) or a.runtime == pytest.approx(b.runtime)
+            assert a.completed == pytest.approx(b.completed)
+
+    def test_csv_round_trip_from_text(self):
+        history = self.make_history()
+        text = history.to_csv()
+        loaded = SearchHistory.from_csv(text, space())
+        assert loaded.best_runtime() == pytest.approx(history.best_runtime())
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=600.0), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_best_is_minimum_of_recorded_runtimes(self, runtimes):
+        history = SearchHistory(space())
+        for i, rt in enumerate(runtimes):
+            history.record({"x": 1 + i % 99, "flag": False}, rt, float(i), float(i + 1))
+        assert history.best_runtime() == pytest.approx(min(runtimes))
+
+    @given(
+        st.lists(
+            st.one_of(st.floats(min_value=0.1, max_value=600.0), st.just(float("nan"))),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_trajectory_monotone(self, runtimes):
+        history = SearchHistory(space())
+        for i, rt in enumerate(runtimes):
+            history.record({"x": 1 + i % 99, "flag": False}, rt, float(i), float(i + 1))
+        values = [v for _, v in history.incumbent_trajectory()]
+        assert all(a >= b for a, b in zip(values, values[1:]))

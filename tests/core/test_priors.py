@@ -1,0 +1,136 @@
+"""Tests for per-parameter and joint priors."""
+
+import numpy as np
+import pytest
+
+from repro.core.priors import (
+    CategoricalPrior,
+    IndependentPrior,
+    LogUniformPrior,
+    MixturePrior,
+    UniformPrior,
+    default_prior,
+)
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    RealParameter,
+    SearchSpace,
+)
+
+
+class TestParameterPriors:
+    def test_uniform_prior_covers_integer_range(self):
+        prior = UniformPrior(IntegerParameter("x", 0, 9))
+        rng = np.random.default_rng(0)
+        values = prior.sample(5000, rng)
+        assert set(values) == set(range(10))
+
+    def test_uniform_prior_real_bounds(self):
+        prior = UniformPrior(RealParameter("x", -1.0, 1.0))
+        values = prior.sample(1000, np.random.default_rng(0))
+        assert min(values) >= -1.0 and max(values) <= 1.0
+
+    def test_log_uniform_prior_biases_toward_small_values(self):
+        prior = LogUniformPrior(IntegerParameter("x", 1, 1024, log=True))
+        values = np.asarray(prior.sample(4000, np.random.default_rng(0)))
+        assert np.mean(values <= 32) > 0.4
+
+    def test_log_uniform_requires_numeric_positive_parameter(self):
+        with pytest.raises(TypeError):
+            LogUniformPrior(CategoricalParameter("c", ("a", "b")))
+        with pytest.raises(ValueError):
+            LogUniformPrior(IntegerParameter("x", 0, 10))
+
+    def test_categorical_prior_uniform_by_default(self):
+        prior = CategoricalPrior(CategoricalParameter("c", ("a", "b", "c")))
+        values = prior.sample(3000, np.random.default_rng(0))
+        counts = {v: values.count(v) for v in ("a", "b", "c")}
+        assert all(800 < c < 1200 for c in counts.values())
+
+    def test_categorical_prior_respects_probabilities(self):
+        prior = CategoricalPrior(
+            CategoricalParameter("c", ("a", "b")), probabilities=[0.9, 0.1]
+        )
+        values = prior.sample(2000, np.random.default_rng(0))
+        assert values.count("a") > 1600
+
+    def test_categorical_prior_validates_probabilities(self):
+        param = CategoricalParameter("c", ("a", "b"))
+        with pytest.raises(ValueError):
+            CategoricalPrior(param, probabilities=[1.0])
+        with pytest.raises(ValueError):
+            CategoricalPrior(param, probabilities=[-1.0, 2.0])
+        with pytest.raises(ValueError):
+            CategoricalPrior(param, probabilities=[0.0, 0.0])
+
+    def test_categorical_prior_on_ordinal(self):
+        prior = CategoricalPrior(OrdinalParameter("o", (1, 2, 4)))
+        assert set(prior.sample(100, np.random.default_rng(0))) <= {1, 2, 4}
+
+    def test_default_prior_dispatch(self):
+        assert isinstance(default_prior(IntegerParameter("a", 1, 10, log=True)), LogUniformPrior)
+        assert isinstance(default_prior(IntegerParameter("b", 1, 10)), UniformPrior)
+        assert isinstance(default_prior(CategoricalParameter("c", ("x", "y"))), CategoricalPrior)
+        assert isinstance(default_prior(OrdinalParameter("d", (1, 2))), CategoricalPrior)
+
+
+class TestJointPriors:
+    def space(self):
+        return SearchSpace(
+            [
+                IntegerParameter("batch", 1, 64, log=True),
+                CategoricalParameter.boolean("flag"),
+                RealParameter("ratio", 0.0, 1.0),
+            ]
+        )
+
+    def test_independent_prior_produces_valid_configs(self):
+        space = self.space()
+        prior = IndependentPrior(space)
+        for config in prior.sample_configurations(100, np.random.default_rng(0)):
+            space.validate(config)
+
+    def test_independent_prior_rejects_unknown_overrides(self):
+        space = self.space()
+        with pytest.raises(ValueError):
+            IndependentPrior(space, priors={"nope": UniformPrior(IntegerParameter("nope", 0, 1))})
+
+    def test_independent_prior_override_used(self):
+        space = self.space()
+        prior = IndependentPrior(
+            space,
+            priors={"flag": CategoricalPrior(space["flag"], probabilities=[1.0, 0.0])},
+        )
+        values = [c["flag"] for c in prior.sample_configurations(200, np.random.default_rng(0))]
+        assert set(values) == {False}
+
+    def test_empty_sample(self):
+        prior = IndependentPrior(self.space())
+        assert prior.sample_configurations(0, np.random.default_rng(0)) == []
+
+    def test_mixture_prior_combines_components(self):
+        space = self.space()
+        always_true = IndependentPrior(
+            space, priors={"flag": CategoricalPrior(space["flag"], probabilities=[0.0, 1.0])}
+        )
+        always_false = IndependentPrior(
+            space, priors={"flag": CategoricalPrior(space["flag"], probabilities=[1.0, 0.0])}
+        )
+        mixture = MixturePrior([always_true, always_false], weights=[0.8, 0.2])
+        values = [
+            c["flag"] for c in mixture.sample_configurations(1000, np.random.default_rng(0))
+        ]
+        frac_true = sum(values) / len(values)
+        assert 0.7 < frac_true < 0.9
+
+    def test_mixture_prior_validation(self):
+        space = self.space()
+        prior = IndependentPrior(space)
+        with pytest.raises(ValueError):
+            MixturePrior([], [])
+        with pytest.raises(ValueError):
+            MixturePrior([prior], [0.0])
+        with pytest.raises(ValueError):
+            MixturePrior([prior, prior], [0.5])

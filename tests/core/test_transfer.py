@@ -1,0 +1,159 @@
+"""Tests for the VAE-guided transfer-learning prior (Algorithm 1, l. 1-10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import SearchHistory
+from repro.core.priors import IndependentPrior
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    SearchSpace,
+)
+from repro.core.transfer import TransferLearningPrior, fit_transfer_prior
+
+
+def source_space():
+    return SearchSpace(
+        [
+            IntegerParameter("batch", 1, 1024, log=True),
+            OrdinalParameter("pes", (1, 2, 4, 8, 16)),
+            CategoricalParameter.boolean("busy"),
+        ],
+        name="source",
+    )
+
+
+def target_space():
+    # Same parameters plus two new ones (the 16p -> 20p scenario).
+    return SearchSpace(
+        [
+            IntegerParameter("batch", 1, 1024, log=True),
+            OrdinalParameter("pes", (1, 2, 4, 8, 16)),
+            CategoricalParameter.boolean("busy"),
+            CategoricalParameter("pool", ("fifo", "fifo_wait", "prio_wait")),
+            IntegerParameter("threads", 1, 31),
+        ],
+        name="target",
+    )
+
+
+def make_source_history(n=200, seed=0):
+    """A history whose good region is: large batch, pes=8 or 16, busy=True."""
+    space = source_space()
+    history = SearchHistory(space)
+    rng = np.random.default_rng(seed)
+    for i, config in enumerate(space.sample(n, rng)):
+        runtime = 100.0
+        runtime -= 40.0 * (np.log(config["batch"]) / np.log(1024))
+        runtime -= 25.0 if config["pes"] >= 8 else 0.0
+        runtime -= 15.0 if config["busy"] else 0.0
+        runtime += rng.normal(scale=2.0)
+        history.record(config, max(runtime, 5.0), float(i), float(i + 1))
+    return history
+
+
+class TestFitTransferPrior:
+    def test_prior_samples_valid_target_configurations(self):
+        prior = fit_transfer_prior(
+            make_source_history(), target_space(), epochs=60, seed=0
+        )
+        rng = np.random.default_rng(1)
+        space = target_space()
+        for config in prior.sample_configurations(50, rng):
+            space.validate(config)
+
+    def test_prior_is_biased_toward_the_good_region(self):
+        history = make_source_history()
+        prior = fit_transfer_prior(history, target_space(), epochs=150, seed=0)
+        rng = np.random.default_rng(1)
+        samples = prior.sample_configurations(400, rng)
+        uniform = IndependentPrior(target_space()).sample_configurations(400, rng)
+
+        def goodness(configs):
+            return np.mean(
+                [
+                    (np.log(c["batch"]) / np.log(1024))
+                    + (1.0 if c["pes"] >= 8 else 0.0)
+                    + (1.0 if c["busy"] else 0.0)
+                    for c in configs
+                ]
+            )
+
+        assert goodness(samples) > goodness(uniform) + 0.3
+
+    def test_new_parameters_get_uninformative_priors(self):
+        prior = fit_transfer_prior(make_source_history(), target_space(), epochs=40, seed=0)
+        assert set(prior.new_parameters) == {"pool", "threads"}
+        rng = np.random.default_rng(2)
+        samples = prior.sample_configurations(600, rng)
+        pools = {c["pool"] for c in samples}
+        assert pools == {"fifo", "fifo_wait", "prio_wait"}
+        threads = np.array([c["threads"] for c in samples])
+        # roughly uniform over [1, 31]
+        assert threads.min() <= 4 and threads.max() >= 28
+
+    def test_shared_parameters_listed(self):
+        prior = fit_transfer_prior(make_source_history(), target_space(), epochs=20, seed=0)
+        assert set(prior.shared_parameters) == {"batch", "pes", "busy"}
+
+    def test_small_history_falls_back_to_resampling(self):
+        history = make_source_history(n=5)
+        prior = fit_transfer_prior(
+            history, target_space(), epochs=20, min_configurations_for_vae=8, seed=0
+        )
+        assert prior.vae is None
+        rng = np.random.default_rng(0)
+        samples = prior.sample_configurations(20, rng)
+        assert len(samples) == 20
+        space = target_space()
+        for config in samples:
+            space.validate(config)
+
+    def test_disjoint_spaces_rejected(self):
+        other = SearchSpace([IntegerParameter("unrelated", 0, 5)])
+        with pytest.raises(ValueError):
+            fit_transfer_prior(make_source_history(), other, epochs=10)
+
+    def test_quantile_controls_selection_size(self):
+        history = make_source_history(n=100)
+        strict = fit_transfer_prior(history, target_space(), quantile=0.05, epochs=10, seed=0)
+        loose = fit_transfer_prior(history, target_space(), quantile=0.5, epochs=10, seed=0)
+        assert len(strict.top_configurations) < len(loose.top_configurations)
+
+    def test_uniform_fraction_bounds(self):
+        history = make_source_history(50)
+        with pytest.raises(ValueError):
+            TransferLearningPrior(
+                target_space(), None, prior_transform_of(history), [], uniform_fraction=1.5
+            )
+
+    def test_transfer_works_when_spaces_are_identical(self):
+        history = make_source_history()
+        prior = fit_transfer_prior(history, source_space(), epochs=40, seed=0)
+        assert prior.new_parameters == []
+        rng = np.random.default_rng(0)
+        for config in prior.sample_configurations(20, rng):
+            source_space().validate(config)
+
+    def test_source_values_clipped_to_changed_target_bounds(self):
+        # The target narrows the batch range; transferred samples must respect it.
+        history = make_source_history()
+        narrow = SearchSpace(
+            [
+                IntegerParameter("batch", 1, 128, log=True),
+                OrdinalParameter("pes", (1, 2, 4, 8, 16)),
+                CategoricalParameter.boolean("busy"),
+            ]
+        )
+        prior = fit_transfer_prior(history, narrow, epochs=30, seed=0)
+        rng = np.random.default_rng(0)
+        for config in prior.sample_configurations(100, rng):
+            assert 1 <= config["batch"] <= 128
+
+
+def prior_transform_of(history):
+    from repro.core.vae.transforms import TabularTransform
+
+    return TabularTransform(history.space)

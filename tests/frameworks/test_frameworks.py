@@ -1,0 +1,199 @@
+"""Tests for the comparator frameworks (RAND, DeepHyper-like, GPtune-like, HiPerBOt-like)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import SearchHistory
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    RealParameter,
+    SearchSpace,
+)
+from repro.frameworks import (
+    DeepHyperSearch,
+    FrameworkResult,
+    GPTuneLike,
+    HiPerBOtLike,
+    RandomSearch,
+)
+
+
+def toy_space():
+    return SearchSpace(
+        [
+            RealParameter("x", 0.0, 1.0),
+            IntegerParameter("k", 1, 32, log=True),
+            CategoricalParameter.boolean("flag"),
+        ]
+    )
+
+
+def toy_runtime(config):
+    base = 20.0 + 300.0 * (config["x"] - 0.6) ** 2
+    base += 15.0 * abs(np.log(config["k"]) / np.log(32) - 0.4)
+    base += 0.0 if config["flag"] else 10.0
+    return base
+
+
+def shared_initial_samples(n=10, seed=123):
+    space = toy_space()
+    return space.sample(n, np.random.default_rng(seed))
+
+
+def make_source_history(n=150, seed=0):
+    space = toy_space()
+    history = SearchHistory(space)
+    rng = np.random.default_rng(seed)
+    for i, config in enumerate(space.sample(n, rng)):
+        history.record(config, toy_runtime(config), float(i), float(i + 1))
+    return history
+
+
+BUDGET = 1500.0
+
+
+class TestRandomSearch:
+    def test_runs_and_reports_metrics(self):
+        framework = RandomSearch(toy_space(), toy_runtime, num_workers=1, seed=0)
+        result = framework.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert isinstance(result, FrameworkResult)
+        assert result.name == "RAND"
+        assert result.num_evaluations > 10
+        assert np.isfinite(result.best_runtime)
+
+    def test_sequential_mode_evaluates_few_configurations(self):
+        sequential = RandomSearch(toy_space(), toy_runtime, num_workers=1, seed=0).run(BUDGET)
+        parallel = RandomSearch(toy_space(), toy_runtime, num_workers=10, seed=0).run(BUDGET)
+        assert parallel.num_evaluations > 3 * sequential.num_evaluations
+
+
+class TestDeepHyperSearch:
+    def test_names_reflect_worker_count_and_tl(self):
+        dh1 = DeepHyperSearch(toy_space(), toy_runtime, num_workers=1, refit_interval=4, seed=0)
+        dh10 = DeepHyperSearch(toy_space(), toy_runtime, num_workers=10, refit_interval=4, seed=0)
+        assert dh1.name == "DH1W" and dh10.name == "DH10W"
+        result = dh1.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert result.name == "DH1W"
+        tl_result = dh1.run(
+            BUDGET,
+            initial_configurations=shared_initial_samples(),
+            source_history=make_source_history(),
+        )
+        assert tl_result.name == "TL-DH1W"
+
+    def test_ten_workers_evaluate_more_than_one(self):
+        dh1 = DeepHyperSearch(toy_space(), toy_runtime, num_workers=1, refit_interval=4, seed=1)
+        dh10 = DeepHyperSearch(toy_space(), toy_runtime, num_workers=10, refit_interval=4, seed=1)
+        r1 = dh1.run(BUDGET, initial_configurations=shared_initial_samples())
+        r10 = dh10.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert r10.num_evaluations > 2 * r1.num_evaluations
+        assert r10.best_runtime <= r1.best_runtime + 5.0
+
+    def test_transfer_learning_improves_early_incumbent(self):
+        dh = DeepHyperSearch(toy_space(), toy_runtime, num_workers=1, vae_epochs=60, refit_interval=4, seed=2)
+        init = shared_initial_samples()
+        no_tl = dh.run(BUDGET, initial_configurations=init)
+        tl = dh.run(BUDGET, initial_configurations=init, source_history=make_source_history())
+        early = 600.0
+        assert (
+            tl.history.best_runtime_at(early)
+            <= no_tl.history.best_runtime_at(early) + 5.0
+        )
+
+
+class TestGPTuneLike:
+    def test_two_phase_run_produces_history(self):
+        framework = GPTuneLike(toy_space(), toy_runtime, num_sampling=10, seed=0)
+        result = framework.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert result.name == "GPTUNE"
+        assert result.num_evaluations >= 10
+        assert np.isfinite(result.best_runtime)
+
+    def test_finds_reasonable_configuration(self):
+        framework = GPTuneLike(toy_space(), toy_runtime, num_sampling=10, seed=0)
+        result = framework.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert result.best_runtime < 40.0
+
+    def test_transfer_requires_identical_spaces(self):
+        framework = GPTuneLike(toy_space(), toy_runtime, seed=0)
+        other_space = SearchSpace([RealParameter("only_x", 0.0, 1.0)])
+        bad_history = SearchHistory(other_space)
+        with pytest.raises(ValueError):
+            framework.run(BUDGET, source_history=bad_history)
+
+    def test_transfer_learning_pools_source_data(self):
+        framework = GPTuneLike(toy_space(), toy_runtime, num_sampling=10, seed=0)
+        result = framework.run(
+            BUDGET,
+            initial_configurations=shared_initial_samples(),
+            source_history=make_source_history(),
+        )
+        assert result.name == "TL-GPTUNE"
+        assert result.best_runtime < 45.0
+
+    def test_sequential_evaluations_do_not_overlap(self):
+        framework = GPTuneLike(toy_space(), toy_runtime, num_sampling=5, seed=0)
+        result = framework.run(1000.0, initial_configurations=shared_initial_samples(5))
+        evals = sorted(result.history, key=lambda ev: ev.submitted)
+        for a, b in zip(evals, evals[1:]):
+            assert b.submitted >= a.completed - 1e-9
+
+
+class TestHiPerBOtLike:
+    def test_run_produces_history_and_name(self):
+        framework = HiPerBOtLike(toy_space(), toy_runtime, seed=0)
+        result = framework.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert result.name == "HIPERBOT"
+        assert result.num_evaluations >= 10
+
+    def test_finds_reasonable_configuration(self):
+        framework = HiPerBOtLike(toy_space(), toy_runtime, seed=0)
+        result = framework.run(BUDGET, initial_configurations=shared_initial_samples())
+        assert result.best_runtime < 45.0
+
+    def test_transfer_learning_uses_source_density(self):
+        framework = HiPerBOtLike(toy_space(), toy_runtime, source_weight=0.5, seed=0)
+        result = framework.run(
+            BUDGET,
+            initial_configurations=shared_initial_samples(),
+            source_history=make_source_history(),
+        )
+        assert result.name == "TL-HIPERBOT"
+        assert np.isfinite(result.best_runtime)
+
+    def test_transfer_requires_identical_spaces(self):
+        framework = HiPerBOtLike(toy_space(), toy_runtime, seed=0)
+        other_space = SearchSpace([RealParameter("only_x", 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            framework.run(BUDGET, source_history=SearchHistory(other_space))
+
+    def test_invalid_source_weight(self):
+        with pytest.raises(ValueError):
+            HiPerBOtLike(toy_space(), toy_runtime, source_weight=1.5)
+
+    def test_sequential_evaluations_do_not_overlap(self):
+        framework = HiPerBOtLike(toy_space(), toy_runtime, seed=0)
+        result = framework.run(1500.0, initial_configurations=shared_initial_samples(5))
+        evals = sorted(result.history, key=lambda ev: ev.submitted)
+        for a, b in zip(evals, evals[1:]):
+            assert b.submitted >= a.completed - 1e-9
+
+
+class TestCrossFramework:
+    def test_deephyper_with_workers_evaluates_most(self):
+        init = shared_initial_samples()
+        results = {
+            "DH10W": DeepHyperSearch(toy_space(), toy_runtime, num_workers=10, refit_interval=4, seed=5).run(
+                BUDGET, initial_configurations=init
+            ),
+            "GPTUNE": GPTuneLike(toy_space(), toy_runtime, seed=5).run(
+                BUDGET, initial_configurations=init
+            ),
+            "HIPERBOT": HiPerBOtLike(toy_space(), toy_runtime, seed=5).run(
+                BUDGET, initial_configurations=init
+            ),
+        }
+        evals = {name: r.num_evaluations for name, r in results.items()}
+        assert evals["DH10W"] > evals["GPTUNE"]
+        assert evals["DH10W"] > evals["HIPERBOT"]

@@ -1,0 +1,141 @@
+"""Unit tests for the data-loader and PEP step simulators."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.mochi.bedrock import ServiceConfig
+from repro.platform import THETA, NodeAllocation
+from repro.hepnos.service import HEPnOSService
+from repro.hep.costs import DEFAULT_COSTS
+from repro.hep.dataloader import DataLoaderConfig, DataLoaderRun
+from repro.hep.hdf5 import SyntheticEventFiles
+from repro.hep.parameters import DEFAULT_CONFIGURATION, complete_configuration
+from repro.hep.pep import PEPConfig, PEPRun
+
+
+def deploy(num_nodes=4, num_files=10, **hepnos_kwargs):
+    env = Environment()
+    allocation = NodeAllocation.create(env, THETA, num_nodes)
+    config = ServiceConfig.from_tuning_parameters(
+        num_event_dbs=hepnos_kwargs.get("events", 4),
+        num_product_dbs=hepnos_kwargs.get("products", 4),
+        num_providers=hepnos_kwargs.get("providers", 4),
+        num_rpc_threads=hepnos_kwargs.get("rpc_threads", 4),
+    )
+    service = HEPnOSService(env, allocation.hepnos_nodes, config)
+    files = list(SyntheticEventFiles(num_files, seed=7, mean_events_per_file=2000))
+    return env, allocation, service, files
+
+
+class TestDataLoaderConfig:
+    def test_from_configuration_extracts_loader_fields(self):
+        config = DataLoaderConfig.from_configuration(complete_configuration({}))
+        assert config.pes_per_node == DEFAULT_CONFIGURATION["loader_pes_per_node"]
+        assert config.batch_size == DEFAULT_CONFIGURATION["loader_batch_size"]
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoaderConfig(pes_per_node=0)
+        with pytest.raises(ValueError):
+            DataLoaderConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            DataLoaderConfig(async_threads=0)
+
+
+class TestDataLoaderRun:
+    def test_all_files_are_loaded_exactly_once(self):
+        env, allocation, service, files = deploy()
+        loader = DataLoaderRun(
+            env, allocation.app_nodes, service, files, DataLoaderConfig(pes_per_node=4)
+        )
+        env.process(loader.run())
+        env.run()
+        assert loader.stats.files_loaded == len(files)
+        assert loader.stats.events_stored == sum(f.num_events for f in files)
+        # Every file leaves exactly one block record in the event databases.
+        total_blocks = sum(
+            sum(1 for k in db.keys() if k.startswith(b"BLOCK|"))
+            for _, db in service.event_databases
+        )
+        assert total_blocks == len(files)
+
+    def test_async_loading_is_not_slower_than_synchronous(self):
+        def run_loader(use_async):
+            env, allocation, service, files = deploy()
+            loader = DataLoaderRun(
+                env,
+                allocation.app_nodes,
+                service,
+                files,
+                DataLoaderConfig(pes_per_node=2, use_async=use_async, async_threads=4),
+            )
+            env.process(loader.run())
+            env.run()
+            return loader.stats.elapsed
+
+        assert run_loader(True) <= run_loader(False) * 1.05
+
+    def test_more_processes_speed_up_loading(self):
+        def run_loader(pes):
+            env, allocation, service, files = deploy(num_files=12)
+            loader = DataLoaderRun(
+                env, allocation.app_nodes, service, files,
+                DataLoaderConfig(pes_per_node=pes),
+            )
+            env.process(loader.run())
+            env.run()
+            return loader.stats.elapsed
+
+        assert run_loader(8) < run_loader(1)
+
+    def test_requires_files_and_nodes(self):
+        env, allocation, service, files = deploy()
+        with pytest.raises(ValueError):
+            DataLoaderRun(env, [], service, files, DataLoaderConfig())
+        with pytest.raises(ValueError):
+            DataLoaderRun(env, allocation.app_nodes, service, [], DataLoaderConfig())
+
+
+class TestPEPRun:
+    def _load(self, env, allocation, service, files):
+        loader = DataLoaderRun(
+            env, allocation.app_nodes, service, files, DataLoaderConfig(pes_per_node=4)
+        )
+        env.process(loader.run())
+        env.run()
+        for node in allocation.app_nodes:
+            node.reset_accounting()
+        return loader
+
+    def test_pep_processes_every_stored_event(self):
+        env, allocation, service, files = deploy()
+        loader = self._load(env, allocation, service, files)
+        pep = PEPRun(env, allocation.app_nodes, service, PEPConfig(pes_per_node=4))
+        env.process(pep.run())
+        env.run()
+        assert pep.stats.events_processed == loader.stats.events_stored
+        assert pep.stats.blocks_processed == len(files)
+        assert pep.stats.elapsed > 0
+
+    def test_remote_blocks_counted_when_fewer_listers_than_consumers(self):
+        env, allocation, service, files = deploy(events=1, products=1, providers=1)
+        self._load(env, allocation, service, files)
+        pep = PEPRun(env, allocation.app_nodes, service, PEPConfig(pes_per_node=4))
+        env.process(pep.run())
+        env.run()
+        # One event database => one lister; the other processes pull remotely.
+        assert pep.stats.remote_blocks > 0
+        assert pep.stats.exchange_rpcs > 0
+
+    def test_pep_config_validation(self):
+        with pytest.raises(ValueError):
+            PEPConfig(pes_per_node=0)
+        with pytest.raises(ValueError):
+            PEPConfig(num_threads=0)
+        with pytest.raises(ValueError):
+            PEPConfig(input_batch_size=0)
+
+    def test_from_configuration_extracts_pep_fields(self):
+        config = PEPConfig.from_configuration(complete_configuration({}))
+        assert config.num_threads == DEFAULT_CONFIGURATION["pep_num_threads"]
+        assert config.use_preloading == DEFAULT_CONFIGURATION["pep_use_preloading"]

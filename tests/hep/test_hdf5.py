@@ -1,0 +1,60 @@
+"""Tests for the synthetic HDF5 file population."""
+
+import pytest
+
+from repro.hep.hdf5 import FileInfo, SyntheticEventFiles
+
+
+class TestFileInfo:
+    def test_total_bytes(self):
+        info = FileInfo("f.h5", num_events=100, product_bytes_per_event=1000)
+        assert info.total_bytes == 100_000
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FileInfo("f.h5", 0, 100)
+        with pytest.raises(ValueError):
+            FileInfo("f.h5", 100, 0)
+
+
+class TestSyntheticEventFiles:
+    def test_population_is_deterministic_for_a_seed(self):
+        a = SyntheticEventFiles(50, seed=3)
+        b = SyntheticEventFiles(50, seed=3)
+        assert [f.num_events for f in a] == [f.num_events for f in b]
+        assert [f.name for f in a] == [f.name for f in b]
+
+    def test_different_seeds_differ(self):
+        a = SyntheticEventFiles(50, seed=1)
+        b = SyntheticEventFiles(50, seed=2)
+        assert [f.num_events for f in a] != [f.num_events for f in b]
+
+    def test_file_counts_and_heterogeneity(self):
+        files = SyntheticEventFiles(200, seed=0)
+        assert len(files) == 200
+        counts = [f.num_events for f in files]
+        assert max(counts) > 1.5 * min(counts)  # skewed sizes, as intended
+
+    def test_total_volume_roughly_matches_paper_scale(self):
+        # 200 files should total on the order of 26.5 GiB (within a factor ~2).
+        files = SyntheticEventFiles(200, seed=0)
+        gib = files.total_bytes / 2**30
+        assert 13.0 < gib < 55.0
+
+    def test_mean_events_close_to_requested(self):
+        files = SyntheticEventFiles(300, seed=0, mean_events_per_file=5000)
+        mean = files.total_events / len(files)
+        assert 0.8 * 5000 < mean < 1.2 * 5000
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticEventFiles(0)
+        with pytest.raises(ValueError):
+            SyntheticEventFiles(10, mean_events_per_file=0)
+        with pytest.raises(ValueError):
+            SyntheticEventFiles(10, sigma=-1.0)
+
+    def test_indexing_and_iteration(self):
+        files = SyntheticEventFiles(10, seed=0)
+        assert files[0].name.endswith("00000.h5")
+        assert len(list(iter(files))) == 10

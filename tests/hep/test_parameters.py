@@ -1,0 +1,131 @@
+"""Tests for the Fig. 1 parameter space and the experimental setups."""
+
+import numpy as np
+import pytest
+
+from repro.core.space import CategoricalParameter, IntegerParameter, OrdinalParameter
+from repro.hep.parameters import (
+    ALL_PARAMETERS,
+    DEFAULT_CONFIGURATION,
+    SETUPS,
+    TRANSFER_CHAIN,
+    WorkflowSetup,
+    build_space,
+    complete_configuration,
+    get_setup,
+)
+
+
+class TestParameterDefinitions:
+    def test_exactly_twenty_parameters(self):
+        assert len(ALL_PARAMETERS) == 20
+
+    def test_batch_sizes_are_log_uniform_integers(self):
+        for name in ("loader_batch_size", "pep_ibatch_size", "pep_obatch_size"):
+            param = ALL_PARAMETERS[name]
+            assert isinstance(param, IntegerParameter)
+            assert param.log
+
+    def test_fig1_ranges(self):
+        assert ALL_PARAMETERS["loader_batch_size"].low == 1
+        assert ALL_PARAMETERS["loader_batch_size"].high == 2048
+        assert ALL_PARAMETERS["hepnos_num_rpc_threads"].low == 0
+        assert ALL_PARAMETERS["hepnos_num_rpc_threads"].high == 63
+        assert ALL_PARAMETERS["hepnos_num_event_databases"].high == 16
+        assert ALL_PARAMETERS["pep_num_threads"].high == 31
+        assert ALL_PARAMETERS["pep_ibatch_size"].low == 8
+        assert ALL_PARAMETERS["pep_ibatch_size"].high == 1024
+
+    def test_pes_per_node_values(self):
+        for name in ("loader_pes_per_node", "hepnos_pes_per_node", "pep_pes_per_node"):
+            param = ALL_PARAMETERS[name]
+            assert isinstance(param, OrdinalParameter)
+            assert param.values == (1, 2, 4, 8, 16, 32)
+
+    def test_pool_type_categories(self):
+        param = ALL_PARAMETERS["hepnos_pool_type"]
+        assert isinstance(param, CategoricalParameter)
+        assert set(param.categories) == {"fifo", "fifo_wait", "prio_wait"}
+
+    def test_default_configuration_is_complete_and_valid(self):
+        assert set(DEFAULT_CONFIGURATION) == set(ALL_PARAMETERS)
+        space = build_space(list(ALL_PARAMETERS))
+        space.validate(DEFAULT_CONFIGURATION)
+
+
+class TestSetups:
+    def test_five_setups_with_paper_names(self):
+        assert set(SETUPS) == {
+            "4n-1s-11p",
+            "4n-2s-16p",
+            "4n-2s-20p",
+            "8n-2s-20p",
+            "16n-2s-20p",
+        }
+
+    def test_parameter_counts_match_names(self):
+        for name, setup in SETUPS.items():
+            declared = int(name.split("-")[2].rstrip("p"))
+            assert setup.num_parameters == declared
+
+    def test_node_and_step_counts_match_names(self):
+        for name, setup in SETUPS.items():
+            nodes = int(name.split("-")[0].rstrip("n"))
+            steps = int(name.split("-")[1].rstrip("s"))
+            assert setup.num_nodes == nodes
+            assert setup.num_steps == steps
+
+    def test_weak_scaling_file_counts(self):
+        assert get_setup("4n-2s-20p").num_files == 50
+        assert get_setup("8n-2s-20p").num_files == 100
+        assert get_setup("16n-2s-20p").num_files == 200
+
+    def test_restricted_spaces_are_subsets_of_the_full_space(self):
+        full = set(get_setup("4n-2s-20p").parameter_names)
+        p16 = set(get_setup("4n-2s-16p").parameter_names)
+        p11 = set(get_setup("4n-1s-11p").parameter_names)
+        assert p11 < p16 < full
+
+    def test_extended_parameters_only_in_20p(self):
+        p16 = set(get_setup("4n-2s-16p").parameter_names)
+        for extended in ("hepnos_pool_type", "hepnos_pes_per_node", "pep_use_preloading", "pep_use_rdma"):
+            assert extended not in p16
+
+    def test_space_cardinality_is_astronomical_for_20p(self):
+        # The paper quotes ~1.5e23 distinct configurations for the 20-parameter space.
+        space = get_setup("4n-2s-20p").space()
+        assert space.cardinality > 1e20
+
+    def test_transfer_chain_follows_setup_order(self):
+        sources = [s for s, _ in TRANSFER_CHAIN]
+        targets = [t for _, t in TRANSFER_CHAIN]
+        assert sources == ["4n-1s-11p", "4n-2s-16p", "4n-2s-20p", "8n-2s-20p"]
+        assert targets == ["4n-2s-16p", "4n-2s-20p", "8n-2s-20p", "16n-2s-20p"]
+
+    def test_get_setup_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_setup("2n-1s-5p")
+
+    def test_setup_space_samples_validate(self):
+        space = get_setup("4n-2s-20p").space()
+        rng = np.random.default_rng(0)
+        for config in space.sample(20, rng):
+            space.validate(config)
+
+
+class TestCompleteConfiguration:
+    def test_fills_missing_parameters_with_defaults(self):
+        partial = {"loader_batch_size": 7, "busy_spin": True}
+        full = complete_configuration(partial)
+        assert full["loader_batch_size"] == 7
+        assert full["busy_spin"] is True
+        assert full["pep_num_threads"] == DEFAULT_CONFIGURATION["pep_num_threads"]
+        assert set(full) == set(ALL_PARAMETERS)
+
+    def test_rejects_unknown_parameters(self):
+        with pytest.raises(KeyError):
+            complete_configuration({"unknown_knob": 1})
+
+    def test_build_space_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            build_space(["loader_batch_size", "nonexistent"])

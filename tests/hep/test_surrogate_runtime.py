@@ -1,0 +1,69 @@
+"""Unit tests for the learned run-time surrogate (Fig. 5 methodology)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.space import IntegerParameter, RealParameter, SearchSpace
+from repro.hep.surrogate_runtime import SurrogateRuntime
+
+
+def toy_space():
+    return SearchSpace([RealParameter("x", 0.0, 1.0), IntegerParameter("k", 1, 32)])
+
+
+def toy_runtime(config):
+    return 20.0 + 200.0 * (config["x"] - 0.5) ** 2 + 0.5 * config["k"]
+
+
+def make_training_data(n=300, seed=0):
+    space = toy_space()
+    rng = np.random.default_rng(seed)
+    configs = space.sample(n, rng)
+    runtimes = [toy_runtime(c) for c in configs]
+    return space, configs, runtimes
+
+
+class TestFromData:
+    def test_predictions_track_the_true_runtime(self):
+        space, configs, runtimes = make_training_data()
+        surrogate = SurrogateRuntime.from_data(space, configs, runtimes, noise=0.0, seed=0)
+        test_configs = space.sample(100, np.random.default_rng(1))
+        predicted = surrogate.predict(test_configs)
+        actual = np.array([toy_runtime(c) for c in test_configs])
+        correlation = np.corrcoef(predicted, actual)[0, 1]
+        assert correlation > 0.8
+
+    def test_call_interface_counts_and_adds_noise(self):
+        space, configs, runtimes = make_training_data()
+        surrogate = SurrogateRuntime.from_data(space, configs, runtimes, noise=0.05, seed=0)
+        config = configs[0]
+        values = [surrogate(config) for _ in range(5)]
+        assert surrogate.num_calls == 5
+        assert len(set(values)) > 1  # noise makes repeated calls differ
+        assert all(v > 0 for v in values)
+
+    def test_failures_in_training_data_are_handled(self):
+        space, configs, runtimes = make_training_data()
+        runtimes = list(runtimes)
+        runtimes[0] = float("nan")
+        runtimes[1] = float("inf")
+        surrogate = SurrogateRuntime.from_data(space, configs, runtimes, seed=0)
+        assert np.all(np.isfinite(surrogate.predict(configs[:10])))
+
+    def test_predictions_near_the_ceiling_return_nan(self):
+        space = toy_space()
+        configs = space.sample(50, np.random.default_rng(0))
+        # Every training point is at the failure ceiling -> every call fails.
+        surrogate = SurrogateRuntime.from_data(
+            space, configs, [float("nan")] * len(configs), failure_runtime=600.0, noise=0.0, seed=0
+        )
+        assert math.isnan(surrogate(configs[0]))
+
+    def test_validation_errors(self):
+        space, configs, runtimes = make_training_data(20)
+        with pytest.raises(ValueError):
+            SurrogateRuntime.from_data(space, configs, runtimes[:-1])
+        with pytest.raises(ValueError):
+            SurrogateRuntime.from_data(space, [], [])

@@ -1,0 +1,124 @@
+"""Integration tests for the end-to-end HEP workflow simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hep.costs import WorkflowCostModel
+from repro.hep.parameters import DEFAULT_CONFIGURATION, get_setup
+from repro.hep.workflow import HEPWorkflow, HEPWorkflowProblem
+
+
+@pytest.fixture(scope="module")
+def problem_16p():
+    return HEPWorkflowProblem.from_setup("4n-2s-16p", seed=1, noise=0.0)
+
+
+class TestHEPWorkflow:
+    def test_default_configuration_completes_both_steps(self, problem_16p):
+        result = problem_16p.workflow.run(DEFAULT_CONFIGURATION)
+        assert not result.failed
+        assert result.loader_time > 0
+        assert result.pep_time > 0
+        assert result.runtime == pytest.approx(result.loader_time + result.pep_time)
+        assert result.events_stored == result.events_processed > 0
+
+    def test_single_step_setup_skips_pep(self):
+        workflow = HEPWorkflow("4n-1s-11p", seed=1, noise=0.0)
+        result = workflow.run(DEFAULT_CONFIGURATION)
+        assert result.pep_time == 0.0
+        assert result.events_processed == 0
+        assert result.runtime == pytest.approx(result.loader_time)
+
+    def test_deterministic_without_noise(self, problem_16p):
+        r1 = problem_16p.workflow.run(DEFAULT_CONFIGURATION)
+        r2 = problem_16p.workflow.run(DEFAULT_CONFIGURATION)
+        assert r1.runtime == pytest.approx(r2.runtime)
+
+    def test_noise_perturbs_runtime(self):
+        workflow = HEPWorkflow("4n-1s-11p", seed=1, noise=0.05)
+        rng = np.random.default_rng(0)
+        r1 = workflow.run(DEFAULT_CONFIGURATION, rng=rng)
+        r2 = workflow.run(DEFAULT_CONFIGURATION, rng=rng)
+        assert r1.runtime != pytest.approx(r2.runtime)
+        assert abs(r1.runtime - r2.runtime) < 0.5 * r1.runtime
+
+    def test_partial_configuration_is_completed_with_defaults(self, problem_16p):
+        result = problem_16p.workflow.run({"loader_batch_size": 256})
+        assert not result.failed
+
+    def test_pathological_configuration_times_out(self):
+        costs = WorkflowCostModel(step_time_limit=30.0)
+        workflow = HEPWorkflow("4n-2s-16p", seed=1, costs=costs, noise=0.0)
+        bad = dict(DEFAULT_CONFIGURATION)
+        bad.update(
+            loader_pes_per_node=1,
+            loader_batch_size=1,
+            hepnos_num_rpc_threads=0,
+            hepnos_num_event_databases=1,
+            hepnos_num_product_databases=1,
+            hepnos_num_providers=1,
+            pep_pes_per_node=1,
+            pep_num_threads=1,
+        )
+        result = workflow.run(bad)
+        assert result.timed_out
+        assert math.isnan(result.runtime)
+
+    def test_more_databases_help_under_load(self, problem_16p):
+        few = dict(DEFAULT_CONFIGURATION)
+        few.update(hepnos_num_event_databases=1, hepnos_num_product_databases=1,
+                   hepnos_num_providers=1, hepnos_num_rpc_threads=1, loader_batch_size=16)
+        many = dict(few)
+        many.update(hepnos_num_event_databases=8, hepnos_num_product_databases=8,
+                    hepnos_num_providers=8, hepnos_num_rpc_threads=16)
+        slow = problem_16p.workflow.run(few)
+        fast = problem_16p.workflow.run(many)
+        assert fast.runtime < slow.runtime
+
+    def test_batching_helps_the_loader(self, problem_16p):
+        small = dict(DEFAULT_CONFIGURATION, loader_batch_size=1)
+        large = dict(DEFAULT_CONFIGURATION, loader_batch_size=1024)
+        assert (
+            problem_16p.workflow.run(large).loader_time
+            < problem_16p.workflow.run(small).loader_time
+        )
+
+    def test_preloading_helps_pep(self):
+        problem = HEPWorkflowProblem.from_setup("4n-2s-20p", seed=1, noise=0.0)
+        on = dict(DEFAULT_CONFIGURATION, pep_use_preloading=True)
+        off = dict(DEFAULT_CONFIGURATION, pep_use_preloading=False)
+        assert problem.workflow.run(on).pep_time < problem.workflow.run(off).pep_time
+
+    def test_oversubscription_hurts(self, problem_16p):
+        sane = dict(DEFAULT_CONFIGURATION, pep_pes_per_node=8, pep_num_threads=7)
+        crazy = dict(DEFAULT_CONFIGURATION, pep_pes_per_node=32, pep_num_threads=31)
+        assert (
+            problem_16p.workflow.run(sane).pep_time
+            < problem_16p.workflow.run(crazy).pep_time
+        )
+
+    def test_weak_scaling_keeps_runtime_same_order(self):
+        r4 = HEPWorkflow("4n-2s-20p", seed=1, noise=0.0).run(DEFAULT_CONFIGURATION)
+        r16 = HEPWorkflow("16n-2s-20p", seed=1, noise=0.0).run(DEFAULT_CONFIGURATION)
+        assert not r4.failed and not r16.failed
+        assert r16.runtime < 5 * r4.runtime
+
+
+class TestHEPWorkflowProblem:
+    def test_space_matches_setup(self, problem_16p):
+        assert len(problem_16p.space) == 16
+        assert problem_16p.setup.name == "4n-2s-16p"
+
+    def test_evaluate_counts_calls(self):
+        problem = HEPWorkflowProblem.from_setup("4n-1s-11p", seed=1, noise=0.0)
+        before = problem.num_evaluations
+        problem.evaluate(DEFAULT_CONFIGURATION)
+        assert problem.num_evaluations == before + 1
+
+    def test_objective_is_negative_log_runtime(self):
+        problem = HEPWorkflowProblem.from_setup("4n-1s-11p", seed=1, noise=0.0)
+        runtime = problem.evaluate(DEFAULT_CONFIGURATION)
+        objective = problem.objective(DEFAULT_CONFIGURATION)
+        assert objective == pytest.approx(-math.log(runtime), rel=0.05)

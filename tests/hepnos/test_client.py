@@ -1,0 +1,142 @@
+"""Tests for the HEPnOS client API (store, list, load)."""
+
+import math
+
+import pytest
+
+from repro.sim import Environment
+from repro.mochi.bedrock import ServiceConfig
+from repro.mochi.margo import MargoEngine, ProgressMode
+from repro.platform import THETA, Node
+from repro.hepnos.client import HEPnOSClient, StoredBlock
+from repro.hepnos.service import HEPnOSService
+
+
+def make_setup(events=2, products=2, providers=2, rpc_threads=4):
+    env = Environment()
+    server_node = Node(env, THETA, "hepnos-0")
+    app_node = Node(env, THETA, "app-0")
+    config = ServiceConfig.from_tuning_parameters(
+        num_event_dbs=events,
+        num_product_dbs=products,
+        num_providers=providers,
+        num_rpc_threads=rpc_threads,
+    )
+    service = HEPnOSService(env, [server_node], config)
+    engine = MargoEngine(env, nic=app_node.nic, progress_mode=ProgressMode.EPOLL, name="app")
+    client = HEPnOSClient(engine, service)
+    return env, service, client
+
+
+def run(env, gen):
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from gen
+
+    env.process(wrapper())
+    env.run()
+    return out["value"]
+
+
+class TestStoredBlock:
+    def test_value_round_trip(self):
+        block = StoredBlock("f.h5", 100, 1_000_000, 3, 5)
+        assert StoredBlock.from_value(block.to_value()) == block
+
+
+class TestStoreFile:
+    def test_store_file_records_block_in_event_database(self):
+        env, service, client = make_setup()
+        stats = run(
+            env,
+            client.store_file("file-1.h5", num_events=1000, product_bytes_per_event=5000, write_batch_size=128),
+        )
+        assert stats.num_events == 1000
+        assert stats.num_rpcs >= math.ceil(1000 / 128)
+        db_idx = service.event_db_for_file("file-1.h5")
+        _, db = service.event_db(db_idx)
+        blocks = [k for k in db.keys() if k.startswith(b"BLOCK|")]
+        assert len(blocks) == 1
+        block = StoredBlock.from_value(db.value_of(blocks[0]))
+        assert block.num_events == 1000
+        assert block.product_db == service.product_db_for_file("file-1.h5")
+
+    def test_smaller_batch_size_costs_more_time(self):
+        def elapsed(batch_size):
+            env, _, client = make_setup()
+            stats = run(
+                env,
+                client.store_file("f.h5", 2000, 4000, write_batch_size=batch_size),
+            )
+            return stats.elapsed
+
+        assert elapsed(1) > elapsed(512)
+
+    def test_empty_file_is_noop(self):
+        env, _, client = make_setup()
+        stats = run(env, client.store_file("f.h5", 0, 100, 64))
+        assert stats.num_events == 0 and stats.num_rpcs == 0
+
+    def test_invalid_batch_size_rejected(self):
+        env, _, client = make_setup()
+        with pytest.raises(ValueError):
+            run(env, client.store_file("f.h5", 10, 100, write_batch_size=0))
+
+
+class TestListAndLoad:
+    def test_list_event_blocks_returns_stored_blocks(self):
+        env, service, client = make_setup(events=1, products=1)
+        def scenario():
+            yield from client.store_file("a.h5", 500, 2000, 64)
+            yield from client.store_file("b.h5", 300, 2000, 64)
+            blocks = yield from client.list_event_blocks(0)
+            return blocks
+
+        blocks = run(env, scenario())
+        assert {b.file_name for b in blocks} == {"a.h5", "b.h5"}
+        assert sum(b.num_events for b in blocks) == 800
+
+    def test_load_products_accounts_bytes(self):
+        env, service, client = make_setup(events=1, products=1)
+
+        def scenario():
+            yield from client.store_file("a.h5", 400, 1000, 64)
+            blocks = yield from client.list_event_blocks(0)
+            stats = yield from client.load_products(blocks[0], input_batch_size=64, preloading=True)
+            return stats
+
+        stats = run(env, scenario())
+        assert stats.num_events == 400
+        assert stats.bytes_loaded == 400 * 1000
+
+    def test_preloading_is_faster_than_per_product_loads(self):
+        def load_time(preloading):
+            env, service, client = make_setup(events=1, products=1)
+
+            def scenario():
+                yield from client.store_file("a.h5", 1000, 5000, 128)
+                blocks = yield from client.list_event_blocks(0)
+                stats = yield from client.load_products(
+                    blocks[0], input_batch_size=128, preloading=preloading
+                )
+                return stats.elapsed
+
+            return run(env, scenario())
+
+        assert load_time(True) < load_time(False)
+
+    def test_partial_load_respects_event_count(self):
+        env, service, client = make_setup(events=1, products=1)
+
+        def scenario():
+            yield from client.store_file("a.h5", 1000, 1000, 128)
+            blocks = yield from client.list_event_blocks(0)
+            stats = yield from client.load_products(
+                blocks[0], input_batch_size=64, preloading=True, events=250
+            )
+            return stats
+
+        stats = run(env, scenario())
+        assert stats.num_events == 250
+        assert stats.bytes_loaded == 250 * 1000

@@ -1,0 +1,78 @@
+"""Unit tests for the HEPnOS data model and key encoding."""
+
+import pytest
+
+from repro.hepnos.datamodel import (
+    DataSetID,
+    EventID,
+    ProductID,
+    RunID,
+    SubRunID,
+    parse_event_key,
+)
+
+
+class TestHierarchy:
+    def test_event_from_numbers_builds_full_hierarchy(self):
+        event = EventID.from_numbers("nova", 5, 2, 77)
+        assert event.dataset.name == "nova"
+        assert event.subrun.run.run == 5
+        assert event.subrun.subrun == 2
+        assert event.event == 77
+        assert event.as_tuple() == ("nova", 5, 2, 77)
+
+    def test_ordering_matches_numeric_order(self):
+        a = EventID.from_numbers("nova", 1, 1, 1)
+        b = EventID.from_numbers("nova", 1, 1, 2)
+        c = EventID.from_numbers("nova", 1, 2, 0)
+        d = EventID.from_numbers("nova", 2, 0, 0)
+        assert a < b < c < d
+
+    def test_dataset_and_run_ordering(self):
+        assert DataSetID("alpha") < DataSetID("beta")
+        r1 = RunID(DataSetID("nova"), 1)
+        r2 = RunID(DataSetID("nova"), 10)
+        assert r1 < r2
+
+    def test_product_ordering_includes_label(self):
+        event = EventID.from_numbers("nova", 1, 1, 1)
+        p1 = ProductID(event, "hits")
+        p2 = ProductID(event, "tracks")
+        assert p1 < p2
+
+
+class TestKeyEncoding:
+    def test_key_order_matches_event_order(self):
+        events = [
+            EventID.from_numbers("nova", r, s, e)
+            for r in range(3)
+            for s in range(3)
+            for e in range(5)
+        ]
+        keys = [ev.key() for ev in events]
+        assert keys == sorted(keys)
+
+    def test_key_round_trip(self):
+        event = EventID.from_numbers("nova", 12, 34, 56789)
+        assert parse_event_key(event.key()) == ("nova", 12, 34, 56789)
+
+    def test_product_key_shares_event_prefix(self):
+        event = EventID.from_numbers("nova", 1, 2, 3)
+        product = ProductID(event, "calorimeter")
+        assert product.key().startswith(event.key())
+
+    def test_subrun_key_prefixes_event_key(self):
+        event = EventID.from_numbers("nova", 1, 2, 3)
+        assert event.key().startswith(event.subrun.key())
+
+    def test_out_of_range_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            EventID.from_numbers("nova", 2**33, 0, 0).key()
+        with pytest.raises(ValueError):
+            EventID.from_numbers("nova", 0, 0, 2**65).key()
+
+    def test_parse_rejects_malformed_keys(self):
+        with pytest.raises(ValueError):
+            parse_event_key(b"garbage")
+        with pytest.raises(ValueError):
+            parse_event_key(b"DS|nova|R|xx")

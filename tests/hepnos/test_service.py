@@ -1,0 +1,97 @@
+"""Tests for HEPnOS server and service composition."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.mochi.bedrock import ServiceConfig
+from repro.platform import THETA, Node
+from repro.hepnos.server import HEPnOSServer
+from repro.hepnos.service import HEPnOSService
+
+
+def make_config(events=2, products=2, providers=2, rpc_threads=4, **kwargs):
+    return ServiceConfig.from_tuning_parameters(
+        num_event_dbs=events,
+        num_product_dbs=products,
+        num_providers=providers,
+        num_rpc_threads=rpc_threads,
+        **kwargs,
+    )
+
+
+class TestHEPnOSServer:
+    def test_server_materialises_configured_databases(self):
+        env = Environment()
+        node = Node(env, THETA, "hepnos-0")
+        server = HEPnOSServer(env, node, make_config(events=3, products=2))
+        assert len(server.event_databases) == 3
+        assert len(server.product_databases) == 2
+        assert server.num_databases == 5
+
+    def test_every_database_has_a_provider_pool(self):
+        env = Environment()
+        node = Node(env, THETA, "hepnos-0")
+        server = HEPnOSServer(env, node, make_config())
+        for db in server.event_databases + server.product_databases:
+            pool = server.pool_for(db)
+            assert pool.num_xstreams >= 1
+
+    def test_progress_thread_registers_pinned_cores(self):
+        env = Environment()
+        node = Node(env, THETA, "hepnos-0")
+        HEPnOSServer(env, node, make_config(progress_thread=True, busy_spin=True))
+        assert node.pinned_cores >= 1.0
+
+    def test_fifo_pool_type_pins_rpc_threads(self):
+        env = Environment()
+        node_fifo = Node(env, THETA, "a")
+        node_wait = Node(env, THETA, "b")
+        HEPnOSServer(env, node_fifo, make_config(pool_type="fifo", rpc_threads=8))
+        HEPnOSServer(env, node_wait, make_config(pool_type="fifo_wait", rpc_threads=8))
+        assert node_fifo.pinned_cores > node_wait.pinned_cores
+
+
+class TestHEPnOSService:
+    def test_service_aggregates_databases_across_servers(self):
+        env = Environment()
+        nodes = [Node(env, THETA, f"hepnos-{i}") for i in range(2)]
+        service = HEPnOSService(env, nodes, make_config(events=4, products=4), servers_per_node=2)
+        assert len(service.servers) == 4
+        assert service.num_event_databases == 16
+        assert service.num_product_databases == 16
+
+    def test_file_to_database_mapping_is_deterministic_and_in_range(self):
+        env = Environment()
+        nodes = [Node(env, THETA, "hepnos-0")]
+        service = HEPnOSService(env, nodes, make_config(events=5, products=3))
+        for i in range(50):
+            name = f"file-{i}.h5"
+            e1 = service.event_db_for_file(name)
+            e2 = service.event_db_for_file(name)
+            assert e1 == e2
+            assert 0 <= e1 < service.num_event_databases
+            assert 0 <= service.product_db_for_file(name) < service.num_product_databases
+
+    def test_files_spread_over_databases(self):
+        env = Environment()
+        nodes = [Node(env, THETA, "hepnos-0")]
+        service = HEPnOSService(env, nodes, make_config(events=8, products=8))
+        targets = {service.event_db_for_file(f"file-{i}.h5") for i in range(200)}
+        # With 200 files over 8 databases every database should receive some.
+        assert len(targets) == 8
+
+    def test_invalid_constructor_arguments(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            HEPnOSService(env, [], make_config())
+        with pytest.raises(ValueError):
+            HEPnOSService(env, [Node(env, THETA, "n")], make_config(), servers_per_node=0)
+
+    def test_handler_pools_resolve(self):
+        env = Environment()
+        nodes = [Node(env, THETA, "hepnos-0")]
+        service = HEPnOSService(env, nodes, make_config())
+        for idx in range(service.num_event_databases):
+            assert service.handler_pool_for_event_db(idx) is not None
+        for idx in range(service.num_product_databases):
+            assert service.handler_pool_for_product_db(idx) is not None

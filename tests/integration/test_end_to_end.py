@@ -1,0 +1,120 @@
+"""End-to-end integration tests: autotuning the simulated HEP workflow.
+
+These exercise the full stack — parameter space (Fig. 1), the HEPnOS/Mochi
+workflow simulator, the asynchronous BO search, VAE-ABO transfer learning, the
+learned runtime surrogate and the comparator frameworks — at a reduced scale
+(few workers, short virtual budgets) so that the whole module runs in tens of
+seconds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CBOSearch, VAEABOSearch
+from repro.core.history import SearchHistory
+from repro.hep import HEPWorkflowProblem, SurrogateRuntime
+from repro.frameworks import DeepHyperSearch, GPTuneLike, HiPerBOtLike, RandomSearch
+from repro.analysis.metrics import mean_best_runtime
+
+
+@pytest.fixture(scope="module")
+def problem_11p():
+    return HEPWorkflowProblem.from_setup("4n-1s-11p", seed=3, noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def source_result(problem_11p):
+    search = CBOSearch(
+        problem_11p.space, problem_11p.evaluate, num_workers=8, surrogate="RF",
+        refit_interval=4, seed=0,
+    )
+    return search.run(max_time=400.0)
+
+
+class TestWorkflowAutotuning:
+    def test_search_on_the_simulated_workflow_beats_its_median(self, problem_11p, source_result):
+        runtimes = source_result.history.runtimes()
+        finite = runtimes[np.isfinite(runtimes)]
+        assert source_result.best_runtime < np.median(finite)
+        assert source_result.num_evaluations >= 16
+
+    def test_transfer_to_larger_space_starts_in_good_region(self, source_result):
+        problem_16p = HEPWorkflowProblem.from_setup("4n-2s-16p", seed=3, noise=0.0)
+        tl_search = VAEABOSearch(
+            problem_16p.space,
+            problem_16p.evaluate,
+            source_history=source_result.history,
+            num_workers=8,
+            surrogate="RF",
+            vae_epochs=60,
+            refit_interval=4,
+            seed=1,
+        )
+        cold_search = CBOSearch(
+            problem_16p.space, problem_16p.evaluate, num_workers=8, surrogate="RF",
+            refit_interval=4, seed=1,
+        )
+        budget = 300.0
+        tl = tl_search.run(max_time=budget)
+        cold = cold_search.run(max_time=budget)
+        # The loader parameters transferred from the 11p run should make the
+        # time-averaged incumbent at least as good as the cold search's.
+        assert mean_best_runtime(tl, budget) <= mean_best_runtime(cold, budget) * 1.25
+        assert tl.num_evaluations > 0 and cold.num_evaluations > 0
+
+    def test_histories_round_trip_through_csv(self, source_result, tmp_path):
+        path = tmp_path / "h.csv"
+        source_result.history.to_csv(path)
+        loaded = SearchHistory.from_csv(path, source_result.history.space)
+        assert len(loaded) == len(source_result.history)
+        assert loaded.best_runtime() == pytest.approx(source_result.history.best_runtime())
+
+
+class TestSurrogateRuntimeExperiment:
+    """The Fig. 5 methodology: frameworks compared on a learned runtime model."""
+
+    @pytest.fixture(scope="class")
+    def surrogate(self, source_result):
+        return SurrogateRuntime.from_history(source_result.history, seed=0)
+
+    def test_surrogate_predictions_are_plausible(self, surrogate, problem_11p):
+        rng = np.random.default_rng(0)
+        configs = problem_11p.space.sample(20, rng)
+        predictions = surrogate.predict(configs)
+        assert np.all(predictions > 1.0)
+        assert np.all(predictions < 1000.0)
+
+    def test_surrogate_correlates_with_simulator(self, surrogate, problem_11p, source_result):
+        evals = source_result.history.successful()[:40]
+        predicted = surrogate.predict([ev.configuration for ev in evals])
+        actual = np.array([ev.runtime for ev in evals])
+        correlation = np.corrcoef(np.log(predicted), np.log(actual))[0, 1]
+        assert correlation > 0.5
+
+    def test_framework_comparison_runs_on_the_surrogate(self, surrogate, problem_11p):
+        space = problem_11p.space
+        init = space.sample(5, np.random.default_rng(42))
+        budget = 1200.0
+        results = {
+            "RAND": RandomSearch(space, surrogate, num_workers=1, seed=0).run(
+                budget, initial_configurations=init
+            ),
+            "DH10W": DeepHyperSearch(space, surrogate, num_workers=10, refit_interval=4, seed=0).run(
+                budget, initial_configurations=init
+            ),
+            "GPTUNE": GPTuneLike(space, surrogate, num_sampling=5, seed=0).run(
+                budget, initial_configurations=init
+            ),
+            "HIPERBOT": HiPerBOtLike(space, surrogate, seed=0).run(
+                budget, initial_configurations=init
+            ),
+        }
+        for name, result in results.items():
+            assert result.num_evaluations > 0, name
+            assert math.isfinite(result.best_runtime), name
+        # The asynchronous multi-worker search completes the most evaluations.
+        assert results["DH10W"].num_evaluations == max(
+            r.num_evaluations for r in results.values()
+        )

@@ -1,0 +1,159 @@
+"""Unit tests for the Bedrock service-configuration layer."""
+
+import json
+
+import pytest
+
+from repro.mochi.bedrock import (
+    BedrockError,
+    DatabaseConfig,
+    MargoConfig,
+    PoolConfig,
+    ProviderConfig,
+    ServiceConfig,
+)
+
+
+def minimal_config() -> ServiceConfig:
+    return ServiceConfig(
+        margo=MargoConfig(),
+        pools=[PoolConfig(name="__primary__"), PoolConfig(name="p0", num_xstreams=2)],
+        providers=[
+            ProviderConfig(
+                provider_id=0,
+                pool="p0",
+                databases=[
+                    DatabaseConfig(name="hepnos-events-0", role="events"),
+                    DatabaseConfig(name="hepnos-products-0", role="products"),
+                ],
+            )
+        ],
+    )
+
+
+class TestValidation:
+    def test_minimal_config_validates(self):
+        minimal_config().validate()
+
+    def test_unknown_pool_kind_rejected(self):
+        config = minimal_config()
+        config.pools[1].kind = "round_robin"
+        with pytest.raises(BedrockError):
+            config.validate()
+
+    def test_duplicate_pool_names_rejected(self):
+        config = minimal_config()
+        config.pools.append(PoolConfig(name="p0"))
+        with pytest.raises(BedrockError):
+            config.validate()
+
+    def test_provider_with_undeclared_pool_rejected(self):
+        config = minimal_config()
+        config.providers[0].pool = "ghost"
+        with pytest.raises(BedrockError):
+            config.validate()
+
+    def test_duplicate_database_names_rejected(self):
+        config = minimal_config()
+        config.providers[0].databases.append(DatabaseConfig(name="hepnos-events-0"))
+        with pytest.raises(BedrockError):
+            config.validate()
+
+    def test_unknown_database_role_rejected(self):
+        with pytest.raises(BedrockError):
+            DatabaseConfig(name="db", role="cache").validate()
+
+    def test_unknown_progress_mode_rejected(self):
+        config = minimal_config()
+        config.margo.progress_mode = "poll"
+        with pytest.raises(BedrockError):
+            config.validate()
+
+    def test_rpc_pool_must_be_declared(self):
+        config = minimal_config()
+        config.margo.rpc_pool = "missing"
+        with pytest.raises(BedrockError):
+            config.validate()
+
+
+class TestJsonRoundTrip:
+    def test_to_json_from_json_round_trip(self):
+        config = minimal_config()
+        text = config.to_json()
+        parsed = ServiceConfig.from_json(text)
+        assert parsed == config
+
+    def test_json_is_valid_json(self):
+        data = json.loads(minimal_config().to_json())
+        assert "margo" in data and "pools" in data and "providers" in data
+
+    def test_invalid_json_raises_bedrock_error(self):
+        with pytest.raises(BedrockError):
+            ServiceConfig.from_json("{not json")
+
+    def test_malformed_dict_raises_bedrock_error(self):
+        with pytest.raises(BedrockError):
+            ServiceConfig.from_dict({"providers": [{"pool": "p"}]})
+
+
+class TestFromTuningParameters:
+    def test_builds_requested_database_counts(self):
+        config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=4,
+            num_product_dbs=3,
+            num_providers=2,
+            num_rpc_threads=8,
+            pool_type="fifo_wait",
+            progress_thread=True,
+            busy_spin=False,
+        )
+        config.validate()
+        assert len(config.databases_with_role("events")) == 4
+        assert len(config.databases_with_role("products")) == 3
+        assert len(config.providers) == 2
+
+    def test_rpc_threads_split_across_providers(self):
+        config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=2, num_product_dbs=2, num_providers=4, num_rpc_threads=10
+        )
+        assert config.total_rpc_xstreams() == 10
+
+    def test_zero_rpc_threads_uses_primary_pool(self):
+        config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=1, num_product_dbs=1, num_providers=2, num_rpc_threads=0
+        )
+        assert all(p.pool == "__primary__" for p in config.providers)
+        assert config.total_rpc_xstreams() == 0
+
+    def test_busy_spin_sets_progress_mode(self):
+        config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=1, num_product_dbs=1, num_providers=1, num_rpc_threads=1, busy_spin=True
+        )
+        assert config.margo.progress_mode == "busy_spin"
+
+    def test_pool_type_propagates(self):
+        config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=1,
+            num_product_dbs=1,
+            num_providers=1,
+            num_rpc_threads=4,
+            pool_type="prio_wait",
+        )
+        provider_pools = {p.pool for p in config.providers}
+        kinds = {p.kind for p in config.pools if p.name in provider_pools}
+        assert kinds == {"prio_wait"}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(BedrockError):
+            ServiceConfig.from_tuning_parameters(0, 1, 1, 1)
+        with pytest.raises(BedrockError):
+            ServiceConfig.from_tuning_parameters(1, 1, 0, 1)
+        with pytest.raises(BedrockError):
+            ServiceConfig.from_tuning_parameters(1, 1, 1, -1)
+
+    def test_round_robin_database_assignment(self):
+        config = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=4, num_product_dbs=4, num_providers=2, num_rpc_threads=2
+        )
+        per_provider = [len(p.databases) for p in config.providers]
+        assert per_provider == [4, 4]

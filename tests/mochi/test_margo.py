@@ -1,0 +1,134 @@
+"""Unit tests for the Margo engine (progress loop + RPC round trips)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.mochi.argobots import Pool
+from repro.mochi.margo import MargoEngine, ProgressCostModel, ProgressMode
+from repro.mochi.mercury import NetworkInterface, NetworkModel
+
+
+def make_engine(env, busy_spin=False, dedicated=False, pool=None, name=""):
+    nic = NetworkInterface(env, NetworkModel(), node_name=name)
+    return MargoEngine(
+        env,
+        nic=nic,
+        progress_mode=ProgressMode.BUSY_SPIN if busy_spin else ProgressMode.EPOLL,
+        dedicated_progress_thread=dedicated,
+        handler_pool=pool,
+        name=name,
+    )
+
+
+class TestProgressCosts:
+    def test_busy_spin_has_lower_latency_than_epoll(self):
+        costs = ProgressCostModel()
+        busy = costs.per_event_latency(ProgressMode.BUSY_SPIN, dedicated_thread=True)
+        epoll = costs.per_event_latency(ProgressMode.EPOLL, dedicated_thread=True)
+        assert busy < epoll
+
+    def test_shared_progress_adds_penalty(self):
+        costs = ProgressCostModel()
+        dedicated = costs.per_event_latency(ProgressMode.EPOLL, dedicated_thread=True)
+        shared = costs.per_event_latency(ProgressMode.EPOLL, dedicated_thread=False)
+        assert shared > dedicated
+
+    def test_pinned_cores(self):
+        env = Environment()
+        spin = make_engine(env, busy_spin=True, dedicated=True)
+        epoll = make_engine(env, busy_spin=False, dedicated=True)
+        shared = make_engine(env, busy_spin=True, dedicated=False)
+        assert spin.pinned_cores() == 1.0
+        assert 0 < epoll.pinned_cores() < 1.0
+        assert shared.pinned_cores() == 0.0
+
+
+class TestRPC:
+    def test_rpc_round_trip_advances_time_and_counts(self):
+        env = Environment()
+        server_pool = Pool(env, num_xstreams=1)
+        client = make_engine(env, name="client")
+        server = make_engine(env, dedicated=True, pool=server_pool, name="server")
+        durations = []
+
+        def proc(env):
+            rt = yield from client.rpc(
+                server, server_pool, request_size=1024, response_size=128, handler_time=0.01
+            )
+            durations.append(rt)
+
+        env.process(proc(env))
+        env.run()
+        assert durations[0] >= 0.01
+        assert client.rpcs_issued == 1
+        assert server.rpcs_handled == 1
+
+    def test_rpc_requires_handler_pool(self):
+        env = Environment()
+        client = make_engine(env, name="client")
+        server = make_engine(env, name="server")  # no pool
+
+        def proc(env):
+            yield from client.rpc(server, None, 10, 10, 0.0)
+
+        env.process(proc(env))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_busy_spin_round_trip_faster_than_epoll(self):
+        def round_trip(busy_spin):
+            env = Environment()
+            pool = Pool(env, num_xstreams=1)
+            client = make_engine(env, busy_spin=busy_spin)
+            server = make_engine(env, busy_spin=busy_spin, dedicated=True, pool=pool)
+            out = []
+
+            def proc(env):
+                rt = yield from client.rpc(server, pool, 100, 100, 0.0)
+                out.append(rt)
+
+            env.process(proc(env))
+            env.run()
+            return out[0]
+
+        assert round_trip(busy_spin=True) < round_trip(busy_spin=False)
+
+    def test_call_runs_nested_handler_and_returns_its_value(self):
+        env = Environment()
+        pool = Pool(env, num_xstreams=1)
+        client = make_engine(env, name="client")
+        server = make_engine(env, dedicated=True, pool=pool, name="server")
+        results = []
+
+        def handler(env):
+            yield env.timeout(0.2)
+            return {"status": "ok"}
+
+        def proc(env):
+            rt, value = yield from client.call(
+                server, pool, request_size=64, response_size=64, handler=handler(env)
+            )
+            results.append((rt, value))
+
+        env.process(proc(env))
+        env.run()
+        rt, value = results[0]
+        assert value == {"status": "ok"}
+        assert rt >= 0.2
+
+    def test_concurrent_rpcs_queue_on_server_pool(self):
+        env = Environment()
+        pool = Pool(env, num_xstreams=1)
+        server = make_engine(env, dedicated=True, pool=pool, name="server")
+        completion = []
+
+        def one_client(env, idx):
+            client = make_engine(env, name=f"client-{idx}")
+            yield from client.rpc(server, pool, 100, 100, handler_time=1.0)
+            completion.append(env.now)
+
+        for i in range(3):
+            env.process(one_client(env, i))
+        env.run()
+        # With a single execution stream the handlers serialise: ~1, ~2, ~3 s.
+        assert completion[-1] >= 3.0

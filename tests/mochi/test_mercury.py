@@ -1,0 +1,97 @@
+"""Unit tests for the Mercury RPC/RDMA transfer model."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.mochi.mercury import NetworkInterface, NetworkModel, TransferKind
+
+
+class TestNetworkModel:
+    def test_default_constants_are_positive(self):
+        model = NetworkModel()
+        assert model.latency > 0
+        assert model.bandwidth > 0
+        assert model.rdma_bandwidth > 0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1e-6)
+
+    def test_small_payload_is_eager(self):
+        model = NetworkModel(eager_threshold=4096)
+        assert model.transfer_kind(1024, use_rdma=True) is TransferKind.EAGER
+
+    def test_large_payload_uses_rdma_when_allowed(self):
+        model = NetworkModel(eager_threshold=4096)
+        assert model.transfer_kind(1 << 20, use_rdma=True) is TransferKind.RDMA
+        assert model.transfer_kind(1 << 20, use_rdma=False) is TransferKind.EAGER
+
+    def test_transfer_time_increases_with_size(self):
+        model = NetworkModel()
+        assert model.transfer_time(10_000) < model.transfer_time(10_000_000)
+
+    def test_rdma_faster_than_eager_for_large_payloads(self):
+        model = NetworkModel(bandwidth=5e9, rdma_bandwidth=10e9)
+        size = 50 * 1024 * 1024
+        assert model.transfer_time(size, use_rdma=True) < model.transfer_time(
+            size, use_rdma=False
+        )
+
+    def test_zero_size_transfer_costs_latency_only(self):
+        model = NetworkModel()
+        assert model.transfer_time(0) == pytest.approx(model.latency)
+
+    def test_negative_size_rejected(self):
+        model = NetworkModel()
+        with pytest.raises(ValueError):
+            model.transfer_time(-1)
+
+    def test_round_trip_is_sum_of_both_directions(self):
+        model = NetworkModel()
+        rt = model.rpc_round_trip(1000, 2000)
+        assert rt == pytest.approx(model.transfer_time(1000) + model.transfer_time(2000))
+
+
+class TestNetworkInterface:
+    def test_transfer_accumulates_statistics(self):
+        env = Environment()
+        nic = NetworkInterface(env, NetworkModel(), node_name="n0")
+
+        def proc(env, nic):
+            yield from nic.transfer(1_000_000)
+            yield from nic.transfer(2_000_000)
+
+        env.process(proc(env, nic))
+        env.run()
+        assert nic.transfers == 2
+        assert nic.bytes_sent == 3_000_000
+
+    def test_channel_contention_serialises_transfers(self):
+        model = NetworkModel(bandwidth=1e9, rdma_bandwidth=1e9, latency=0.0, rdma_setup=0.0)
+        size = 100_000_000  # 0.1 s per transfer at 1 GB/s
+
+        def run_with_channels(channels, senders):
+            env = Environment()
+            nic = NetworkInterface(env, model, channels=channels)
+
+            def sender(env, nic):
+                yield from nic.transfer(size, use_rdma=False)
+
+            for _ in range(senders):
+                env.process(sender(env, nic))
+            env.run()
+            return env.now
+
+        serial = run_with_channels(channels=1, senders=4)
+        parallel = run_with_channels(channels=4, senders=4)
+        assert serial == pytest.approx(4 * 0.1, rel=1e-6)
+        assert parallel == pytest.approx(0.1, rel=1e-6)
+
+    def test_invalid_channel_count(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            NetworkInterface(env, NetworkModel(), channels=0)

@@ -1,0 +1,196 @@
+"""Tests for schema-based parameter discovery and constrained sampling.
+
+This covers the paper's stated follow-up work (§VI): discovering the tunable
+parameters of a Mochi service from a schema of its configuration file, plus a
+set of feasibility constraints.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.space import IntegerParameter
+from repro.mochi.bedrock import ServiceConfig
+from repro.mochi.schema import (
+    Constraint,
+    ConstrainedPrior,
+    SchemaError,
+    discover_space,
+    instantiate,
+)
+
+
+def hepnos_like_schema():
+    """A schema mirroring a HEPnOS server configuration with tunable knobs."""
+    return {
+        "margo": {
+            "progress_mode": {
+                "__param__": {"name": "progress_mode", "type": "categorical",
+                               "choices": ["busy_spin", "epoll"]}
+            },
+            "dedicated_progress_thread": {
+                "__param__": {"name": "progress_thread", "type": "boolean"}
+            },
+        },
+        "pools": {
+            "kind": {
+                "__param__": {"name": "pool_type", "type": "categorical",
+                               "choices": ["fifo", "fifo_wait", "prio_wait"]}
+            },
+            "num_xstreams": {
+                "__param__": {"name": "rpc_threads", "type": "integer", "low": 0, "high": 63}
+            },
+        },
+        "databases": {
+            "events": {"__param__": {"name": "num_event_dbs", "type": "integer",
+                                      "low": 1, "high": 16}},
+            "products": {"__param__": {"name": "num_product_dbs", "type": "integer",
+                                        "low": 1, "high": 16}},
+            "providers": {"__param__": {"name": "num_providers", "type": "ordinal",
+                                         "values": [1, 2, 4, 8, 16, 32]}},
+        },
+        "comment": "non-tunable content is preserved verbatim",
+    }
+
+
+class TestDiscoverSpace:
+    def test_discovers_all_declared_parameters(self):
+        space, constraints = discover_space(hepnos_like_schema())
+        assert set(space.parameter_names) == {
+            "progress_mode", "progress_thread", "pool_type", "rpc_threads",
+            "num_event_dbs", "num_product_dbs", "num_providers",
+        }
+        assert constraints == []
+
+    def test_accepts_json_text(self):
+        space, _ = discover_space(json.dumps(hepnos_like_schema()))
+        assert len(space) == 7
+
+    def test_parameter_domains_match_descriptors(self):
+        space, _ = discover_space(hepnos_like_schema())
+        rpc = space["rpc_threads"]
+        assert isinstance(rpc, IntegerParameter)
+        assert (rpc.low, rpc.high) == (0, 63)
+        assert set(space["pool_type"].categories) == {"fifo", "fifo_wait", "prio_wait"}
+        assert space["num_providers"].values == (1, 2, 4, 8, 16, 32)
+
+    def test_log_flag_is_honoured(self):
+        schema = {"x": {"__param__": {"name": "batch", "type": "integer",
+                                       "low": 1, "high": 2048, "log": True}}}
+        space, _ = discover_space(schema)
+        assert space["batch"].log
+
+    def test_errors_on_malformed_descriptors(self):
+        with pytest.raises(SchemaError):
+            discover_space({"x": {"__param__": {"name": "p", "type": "integer"}}})
+        with pytest.raises(SchemaError):
+            discover_space({"x": {"__param__": {"name": "p", "type": "matrix"}}})
+        with pytest.raises(SchemaError):
+            discover_space({"x": {"__param__": {"type": "boolean"}, "extra": 1}})
+
+    def test_errors_when_nothing_is_tunable(self):
+        with pytest.raises(SchemaError):
+            discover_space({"a": 1, "b": {"c": "d"}})
+
+    def test_duplicate_names_rejected(self):
+        schema = {
+            "a": {"__param__": {"name": "p", "type": "boolean"}},
+            "b": {"__param__": {"name": "p", "type": "boolean"}},
+        }
+        with pytest.raises(SchemaError):
+            discover_space(schema)
+
+    def test_parameter_name_defaults_to_path(self):
+        schema = {"margo": {"threads": {"__param__": {"type": "integer", "low": 1, "high": 4}}}}
+        space, _ = discover_space(schema)
+        assert space.parameter_names == ("margo_threads",)
+
+
+class TestInstantiate:
+    def test_round_trip_produces_concrete_document(self):
+        schema = hepnos_like_schema()
+        space, _ = discover_space(schema)
+        rng = np.random.default_rng(0)
+        config = space.sample(1, rng)[0]
+        document = instantiate(schema, config)
+        assert document["pools"]["num_xstreams"] == config["rpc_threads"]
+        assert document["margo"]["dedicated_progress_thread"] == config["progress_thread"]
+        assert document["comment"] == "non-tunable content is preserved verbatim"
+
+    def test_instantiated_document_feeds_bedrock(self):
+        schema = hepnos_like_schema()
+        space, _ = discover_space(schema)
+        config = space.sample(1, np.random.default_rng(1))[0]
+        document = instantiate(schema, config)
+        service = ServiceConfig.from_tuning_parameters(
+            num_event_dbs=document["databases"]["events"],
+            num_product_dbs=document["databases"]["products"],
+            num_providers=document["databases"]["providers"],
+            num_rpc_threads=document["pools"]["num_xstreams"],
+            pool_type=document["pools"]["kind"],
+            progress_thread=document["margo"]["dedicated_progress_thread"],
+            busy_spin=document["margo"]["progress_mode"] == "busy_spin",
+        )
+        service.validate()
+
+    def test_missing_parameter_raises(self):
+        schema = hepnos_like_schema()
+        with pytest.raises(SchemaError):
+            instantiate(schema, {"rpc_threads": 3})
+
+
+class TestConstrainedPrior:
+    def make_constraints(self):
+        return [
+            Constraint(
+                name="providers_at_most_databases",
+                predicate=lambda c: c["num_providers"] <= c["num_event_dbs"] + c["num_product_dbs"],
+                description="providers without a database would be idle",
+            ),
+            Constraint(
+                name="threads_when_busy_spin",
+                predicate=lambda c: c["progress_mode"] != "busy_spin" or c["rpc_threads"] >= 1,
+                description="busy spinning needs at least one RPC thread",
+            ),
+        ]
+
+    def test_samples_satisfy_all_constraints(self):
+        space, _ = discover_space(hepnos_like_schema())
+        prior = ConstrainedPrior.uniform(space, self.make_constraints())
+        rng = np.random.default_rng(0)
+        for config in prior.sample_configurations(100, rng):
+            assert prior.feasible(config)
+            space.validate(config)
+
+    def test_violated_lists_constraint_names(self):
+        space, _ = discover_space(hepnos_like_schema())
+        prior = ConstrainedPrior.uniform(space, self.make_constraints())
+        bad = space.sample(1, np.random.default_rng(0))[0]
+        bad.update(num_providers=32, num_event_dbs=1, num_product_dbs=1)
+        assert "providers_at_most_databases" in prior.violated(bad)
+
+    def test_unsatisfiable_constraints_raise(self):
+        space, _ = discover_space(hepnos_like_schema())
+        impossible = [Constraint("never", lambda c: False)]
+        prior = ConstrainedPrior.uniform(space, impossible)
+        with pytest.raises(SchemaError):
+            prior.sample_configurations(5, np.random.default_rng(0))
+
+    def test_invalid_max_attempts(self):
+        space, _ = discover_space(hepnos_like_schema())
+        with pytest.raises(ValueError):
+            ConstrainedPrior.uniform(space, []).__class__(
+                ConstrainedPrior.uniform(space, []).base, [], max_attempts=0
+            )
+
+    def test_constrained_prior_plugs_into_the_optimizer(self):
+        from repro.core.optimizer import BayesianOptimizer
+
+        space, _ = discover_space(hepnos_like_schema())
+        prior = ConstrainedPrior.uniform(space, self.make_constraints())
+        optimizer = BayesianOptimizer(space, prior=prior, n_initial_points=4, seed=0)
+        batch = optimizer.ask(6)
+        assert len(batch) == 6
+        for config in batch:
+            assert prior.feasible(config)

@@ -1,0 +1,155 @@
+"""Unit tests for the Yokan key/value database model."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.mochi.argobots import Pool
+from repro.mochi.yokan import Database, DatabaseType, Provider, YokanCostModel
+
+
+def run_proc(env, gen):
+    """Run one generator to completion and return its value."""
+    result = {}
+
+    def wrapper():
+        result["value"] = yield from gen
+
+    env.process(wrapper())
+    env.run()
+    return result.get("value")
+
+
+class TestCostModel:
+    def test_batching_amortises_per_item_cost(self):
+        costs = YokanCostModel()
+        single = 100 * costs.put_time(1000)
+        batched = costs.multi_put_time(100, 100 * 1000)
+        assert batched < single
+
+    def test_costs_scale_with_bytes(self):
+        costs = YokanCostModel()
+        assert costs.put_time(10_000) > costs.put_time(10)
+        assert costs.multi_get_time(10, 100_000) > costs.multi_get_time(10, 100)
+
+    def test_empty_batch_costs_nothing(self):
+        costs = YokanCostModel()
+        assert costs.multi_put_time(0, 0) == 0.0
+        assert costs.multi_get_time(0, 0) == 0.0
+
+    def test_list_cost_scales_with_keys(self):
+        costs = YokanCostModel()
+        assert costs.list_time(1000) > costs.list_time(1)
+
+
+class TestDatabase:
+    def test_put_then_get_round_trips_value(self):
+        env = Environment()
+        db = Database(env, "db0")
+
+        def proc():
+            yield from db.put(b"key", b"value")
+            value = yield from db.get(b"key")
+            return value
+
+        assert run_proc(env, proc()) == b"value"
+        assert db.puts == 1 and db.gets == 1
+
+    def test_get_missing_key_returns_none(self):
+        env = Environment()
+        db = Database(env, "db0")
+
+        def proc():
+            return (yield from db.get(b"missing"))
+
+        assert run_proc(env, proc()) is None
+
+    def test_put_multi_stores_all_items(self):
+        env = Environment()
+        db = Database(env, "db0")
+        items = [(f"k{i}".encode(), f"v{i}".encode()) for i in range(10)]
+
+        def proc():
+            yield from db.put_multi(items)
+
+        run_proc(env, proc())
+        assert len(db) == 10
+        assert db.value_of(b"k3") == b"v3"
+
+    def test_get_multi_preserves_order_and_missing(self):
+        env = Environment()
+        db = Database(env, "db0")
+
+        def proc():
+            yield from db.put(b"a", b"1")
+            yield from db.put(b"c", b"3")
+            return (yield from db.get_multi([b"a", b"b", b"c"]))
+
+        assert run_proc(env, proc()) == [b"1", None, b"3"]
+
+    def test_list_keys_prefix_filter_and_sorted(self):
+        env = Environment()
+        db = Database(env, "db0")
+
+        def proc():
+            yield from db.put(b"EV|2", b"x")
+            yield from db.put(b"EV|1", b"x")
+            yield from db.put(b"PR|1", b"x")
+            return (yield from db.list_keys(prefix=b"EV|"))
+
+        assert run_proc(env, proc()) == [b"EV|1", b"EV|2"]
+
+    def test_writes_serialise_through_the_write_lock(self):
+        env = Environment()
+        costs = YokanCostModel(put_overhead=1.0, per_byte=0.0)
+        db = Database(env, "db0", cost_model=costs)
+
+        def writer(env, db, key):
+            yield from db.put(key, b"v")
+
+        for i in range(3):
+            env.process(writer(env, db, f"k{i}".encode()))
+        env.run()
+        assert env.now == pytest.approx(3.0, abs=1e-6)
+
+    def test_bulk_put_accounted_charges_time_and_stores_record(self):
+        env = Environment()
+        db = Database(env, "db0")
+
+        def proc():
+            yield from db.bulk_put_accounted(
+                count=1000, total_bytes=1_000_000, record_key=b"BLOCK|f0", record_value=b"1000"
+            )
+
+        run_proc(env, proc())
+        assert db.puts == 1000
+        assert db.value_of(b"BLOCK|f0") == b"1000"
+        assert env.now == pytest.approx(
+            db.cost_model.multi_put_time(1000, 1_000_000), abs=1e-9
+        )
+
+    def test_bulk_accounted_rejects_negative_counts(self):
+        env = Environment()
+        db = Database(env, "db0")
+
+        def proc():
+            yield from db.bulk_get_accounted(-1, 0)
+
+        env.process(proc())
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestProvider:
+    def test_database_lookup_by_name(self):
+        env = Environment()
+        pool = Pool(env)
+        db = Database(env, "events-0")
+        provider = Provider(0, pool, [db])
+        assert provider.database_by_name("events-0") is db
+        with pytest.raises(KeyError):
+            provider.database_by_name("missing")
+
+    def test_negative_provider_id_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Provider(-1, Pool(env))

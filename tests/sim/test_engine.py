@@ -1,0 +1,349 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, SimulationError, Timeout
+
+
+class TestEnvironmentBasics:
+    def test_initial_time_defaults_to_zero(self):
+        env = Environment()
+        assert env.now == 0.0
+
+    def test_initial_time_can_be_set(self):
+        env = Environment(initial_time=42.5)
+        assert env.now == 42.5
+
+    def test_run_empty_environment_is_noop(self):
+        env = Environment()
+        env.run()
+        assert env.now == 0.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        env = Environment()
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_in_the_past_raises(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_step_without_events_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+    def test_peek_is_inf_when_empty(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_timeout_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        received = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="payload")
+            received.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert received == ["payload"]
+
+    def test_timeouts_fire_in_time_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(proc(env, "late", 10))
+        env.process(proc(env, "early", 1))
+        env.process(proc(env, "mid", 5))
+        env.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_equal_time_events_fire_in_fifo_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abcd":
+            env.process(proc(env, name))
+        env.run()
+        assert order == list("abcd")
+
+
+class TestEvent:
+    def test_succeed_fires_with_value(self):
+        env = Environment()
+        ev = env.event()
+        results = []
+
+        def proc(env, ev):
+            value = yield ev
+            results.append(value)
+
+        env.process(proc(env, ev))
+        ev.succeed(123)
+        env.run()
+        assert results == [123]
+
+    def test_succeed_twice_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_propagates_into_waiting_process(self):
+        env = Environment()
+        ev = env.event()
+        caught = []
+
+        def proc(env, ev):
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(proc(env, ev))
+        ev.fail(ValueError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failed_event_escalates(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_value_before_firing_raises(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_callback_on_processed_event_runs_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(7)
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+        done_at = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(3.0, value="b")
+            result = yield env.all_of([t1, t2])
+            done_at.append(env.now)
+            assert set(result.values()) == {"a", "b"}
+
+        env.process(proc(env))
+        env.run()
+        assert done_at == [3.0]
+
+    def test_any_of_fires_at_first_event(self):
+        env = Environment()
+        done_at = []
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(3.0, value="b")
+            result = yield env.any_of([t1, t2])
+            done_at.append(env.now)
+            assert list(result.values()) == ["a"]
+
+        env.process(proc(env))
+        env.run()
+        assert done_at == [1.0]
+
+    def test_and_or_operators(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            yield env.timeout(1.0) & env.timeout(2.0)
+            times.append(env.now)
+            yield env.timeout(1.0) | env.timeout(5.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [2.0, 3.0]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        cond = env.all_of([])
+        env.run()
+        assert cond.processed
+
+
+class TestProcess:
+    def test_process_return_value_is_event_value(self):
+        env = Environment()
+        results = []
+
+        def child(env):
+            yield env.timeout(2.0)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            results.append((env.now, value))
+
+        env.process(parent(env))
+        env.run()
+        assert results == [(2.0, 99)]
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def proc(env):
+            yield 42
+
+        p = env.process(proc(env))
+        with pytest.raises(SimulationError):
+            env.run()
+        assert p.triggered
+
+    def test_exception_in_process_escalates_when_unwaited(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise KeyError("oops")
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_exception_in_child_caught_by_parent(self):
+        env = Environment()
+        caught = []
+
+        def child(env):
+            yield env.timeout(1.0)
+            raise KeyError("child failed")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except KeyError:
+                caught.append(env.now)
+
+        env.process(parent(env))
+        env.run()
+        assert caught == [1.0]
+
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        observed = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                observed.append((env.now, interrupt.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2.0)
+            victim_proc.interrupt(cause="stop now")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert observed == [(2.0, "stop now")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.0)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive_transitions(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_run_until_stops_mid_simulation(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            for _ in range(10):
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=4.5)
+        assert env.now == 4.5
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        env.run(until=10.5)
+        assert log == [float(i) for i in range(1, 11)]
+
+    def test_many_processes_complete(self):
+        env = Environment()
+        finished = []
+
+        def proc(env, i):
+            yield env.timeout(i * 0.1)
+            finished.append(i)
+
+        for i in range(200):
+            env.process(proc(env, i))
+        env.run()
+        assert len(finished) == 200
+        assert finished == sorted(finished)

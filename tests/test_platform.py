@@ -1,0 +1,90 @@
+"""Tests for the platform model (nodes, core accounting, allocations)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.platform import THETA, Node, NodeAllocation, Platform
+
+
+class TestPlatform:
+    def test_theta_defaults(self):
+        assert THETA.cores_per_node == 64
+        assert THETA.name == "theta"
+        assert THETA.network.bandwidth > 0
+
+    def test_invalid_platform_parameters(self):
+        with pytest.raises(ValueError):
+            Platform(cores_per_node=0)
+        with pytest.raises(ValueError):
+            Platform(pfs_read_bandwidth=0.0)
+
+
+class TestNode:
+    def test_no_demand_means_no_slowdown(self):
+        env = Environment()
+        node = Node(env, THETA, "n0")
+        assert node.slowdown() == 1.0
+        assert node.available_core_fraction() == 1.0
+
+    def test_slowdown_grows_with_oversubscription(self):
+        env = Environment()
+        node = Node(env, THETA, "n0")
+        node.register_workers(64)
+        assert node.slowdown() == pytest.approx(1.0)
+        node.register_workers(64)
+        assert node.slowdown() == pytest.approx(2.0)
+
+    def test_pinned_cores_reduce_available_fraction(self):
+        env = Environment()
+        node = Node(env, THETA, "n0")
+        node.register_pinned(16)
+        assert node.available_core_fraction() == pytest.approx(0.75)
+        assert node.pinned_cores == 16
+
+    def test_reset_accounting(self):
+        env = Environment()
+        node = Node(env, THETA, "n0")
+        node.register_workers(100)
+        node.register_pinned(10)
+        node.reset_accounting()
+        assert node.core_demand == 0.0
+        assert node.slowdown() == 1.0
+
+    def test_negative_registrations_rejected(self):
+        env = Environment()
+        node = Node(env, THETA, "n0")
+        with pytest.raises(ValueError):
+            node.register_workers(-1)
+        with pytest.raises(ValueError):
+            node.register_pinned(-0.5)
+
+    def test_each_node_has_its_own_nic(self):
+        env = Environment()
+        a = Node(env, THETA, "a")
+        b = Node(env, THETA, "b")
+        assert a.nic is not b.nic
+        assert a.nic.node_name == "a"
+
+
+class TestNodeAllocation:
+    @pytest.mark.parametrize(
+        "num_nodes,expected_hepnos,expected_app",
+        [(4, 1, 3), (8, 2, 6), (16, 4, 12)],
+    )
+    def test_paper_splits(self, num_nodes, expected_hepnos, expected_app):
+        env = Environment()
+        allocation = NodeAllocation.create(env, THETA, num_nodes)
+        assert len(allocation.hepnos_nodes) == expected_hepnos
+        assert len(allocation.app_nodes) == expected_app
+        assert allocation.num_nodes == num_nodes
+
+    def test_too_few_nodes_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            NodeAllocation.create(env, THETA, 1)
+
+    def test_node_names_are_unique(self):
+        env = Environment()
+        allocation = NodeAllocation.create(env, THETA, 8)
+        names = [n.name for n in allocation.hepnos_nodes + allocation.app_nodes]
+        assert len(set(names)) == len(names)
