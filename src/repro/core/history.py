@@ -90,6 +90,13 @@ class SearchHistory:
         self.space = space
         self.objective = objective or Objective()
         self._evaluations: List[Evaluation] = []
+        # Derived-array caches, invalidated on every append.  The search loop
+        # and the analysis layer call objectives()/runtimes() once per
+        # completion batch, so rebuilding them from scratch each time would
+        # reintroduce the linear-per-iteration cost the columnar pipeline
+        # removes elsewhere.
+        self._objectives_cache: Optional[np.ndarray] = None
+        self._runtimes_cache: Optional[np.ndarray] = None
 
     # ---------------------------------------------------------------- dunders
     def __len__(self) -> int:
@@ -105,6 +112,8 @@ class SearchHistory:
     def append(self, evaluation: Evaluation) -> None:
         """Append one completed evaluation."""
         self._evaluations.append(evaluation)
+        self._objectives_cache = None
+        self._runtimes_cache = None
 
     def extend(self, evaluations: Iterable[Evaluation]) -> None:
         """Append several completed evaluations."""
@@ -151,12 +160,26 @@ class SearchHistory:
         return [ev.configuration for ev in self._evaluations]
 
     def objectives(self) -> np.ndarray:
-        """Objective values as an array (NaN for failures)."""
-        return np.asarray([ev.objective for ev in self._evaluations], dtype=float)
+        """Objective values as an array (NaN for failures).
+
+        The array is cached until the next append and returned read-only.
+        """
+        if self._objectives_cache is None:
+            arr = np.asarray([ev.objective for ev in self._evaluations], dtype=float)
+            arr.setflags(write=False)
+            self._objectives_cache = arr
+        return self._objectives_cache
 
     def runtimes(self) -> np.ndarray:
-        """Measured run times as an array (NaN for failures)."""
-        return np.asarray([ev.runtime for ev in self._evaluations], dtype=float)
+        """Measured run times as an array (NaN for failures).
+
+        The array is cached until the next append and returned read-only.
+        """
+        if self._runtimes_cache is None:
+            arr = np.asarray([ev.runtime for ev in self._evaluations], dtype=float)
+            arr.setflags(write=False)
+            self._runtimes_cache = arr
+        return self._runtimes_cache
 
     def best(self) -> Optional[Evaluation]:
         """The evaluation with the highest objective (None if all failed)."""
@@ -189,11 +212,14 @@ class SearchHistory:
 
     def best_runtime_at(self, time: float) -> float:
         """Best run time known at a given search time (inf if none yet)."""
-        best = float("inf")
-        for ev in self._evaluations:
-            if not ev.failed and ev.completed <= time and ev.runtime < best:
-                best = ev.runtime
-        return best
+        if not self._evaluations:
+            return float("inf")
+        runtimes = self.runtimes()
+        completed = np.asarray([ev.completed for ev in self._evaluations], dtype=float)
+        known = np.isfinite(runtimes) & (completed <= time)
+        if not np.any(known):
+            return float("inf")
+        return float(np.min(runtimes[known]))
 
     # ------------------------------------------------------ transfer learning
     def top_quantile(self, q: float = 0.10) -> List[Configuration]:

@@ -110,21 +110,27 @@ class ConstantLiar:
     ) -> List[int]:
         lie = float(np.min(train_y)) if train_y.size else 0.0
         model = copy.deepcopy(surrogate)
-        X_aug = np.array(train_X, dtype=float)
-        y_aug = np.array(train_y, dtype=float)
+        # Preallocate the augmented training set once (train_X may be a view
+        # into the optimizer's incremental cache — it is copied here, not
+        # mutated) instead of re-stacking it on every pick.
+        m = train_X.shape[0]
+        X_aug = np.empty((m + n, train_X.shape[1]), dtype=float)
+        X_aug[:m] = train_X
+        y_aug = np.empty(m + n, dtype=float)
+        y_aug[:m] = train_y
         selected: List[int] = []
         available = np.ones(candidates_encoded.shape[0], dtype=bool)
-        for _ in range(n):
+        for i in range(n):
             mean, std = model.predict(candidates_encoded)
             scores = acquisition(mean, std)
             scores[~available] = -np.inf
             pick = int(np.argmax(scores))
             selected.append(pick)
             available[pick] = False
-            X_aug = np.vstack([X_aug, candidates_encoded[pick : pick + 1]])
-            y_aug = np.append(y_aug, lie)
+            X_aug[m + i] = candidates_encoded[pick]
+            y_aug[m + i] = lie
             model = copy.deepcopy(surrogate)
-            model.fit(X_aug, y_aug)
+            model.fit(X_aug[: m + i + 1], y_aug[: m + i + 1])
         return selected
 
     # ---------------------------------------------------------- approximation

@@ -11,6 +11,17 @@ Algorithm 1's optimization loop:
   returns prior samples (the initialisation phase).
 * :meth:`tell` — record completed evaluations and refit the surrogate.
 
+The hot path is columnar: candidates are sampled as per-parameter NumPy
+columns (:meth:`~repro.core.space.SearchSpace.sample_columns`), encoded
+column-wise, and only the configurations actually proposed are materialised
+as dicts.  The evaluated history is kept as an *incremental* encoded cache —
+``tell`` appends encoded rows and objective values into growing buffers, so
+neither ``tell`` nor ``ask`` ever re-encodes the full history (the pre-PR
+behaviour re-encoded all ``n`` observations on every interaction, making the
+Python-side overhead grow linearly per iteration).  Duplicate detection uses
+raw-value key rows (:meth:`~repro.core.space.SearchSpace.key_array`) hashed
+once per configuration instead of per-candidate ``repr`` tuples.
+
 The optimizer measures the wall-clock time spent fitting the surrogate and
 generating candidates (:attr:`last_tell_duration`, :attr:`last_ask_duration`)
 so the virtual-time search can charge a "measured" manager overhead; an
@@ -19,8 +30,9 @@ analytic overhead model is also available (:mod:`repro.core.overhead`).
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,7 +40,13 @@ from repro.core.acquisition import DEFAULT_KAPPA, UCBAcquisition
 from repro.core.liar import ConstantLiar
 from repro.core.objective import Objective
 from repro.core.priors import IndependentPrior, JointPrior
-from repro.core.space import CategoricalParameter, Configuration, SearchSpace
+from repro.core.space import (
+    CategoricalParameter,
+    ColumnBatch,
+    Configuration,
+    ConfigsLike,
+    SearchSpace,
+)
 from repro.core.surrogate import (
     ConstantSurrogate,
     GaussianProcessSurrogate,
@@ -87,6 +105,13 @@ class BayesianOptimizer:
         trade a slightly staler model for faster campaign wall-clock time in
         the large reproduction sweeps (the charged *search-time* overhead is
         unaffected — see :mod:`repro.core.overhead`).
+    incremental:
+        If True (default), the encoded history is cached incrementally:
+        ``tell`` appends encoded rows into growing buffers and ``ask``/``fit``
+        reuse them.  If False, the full history is re-encoded on every
+        interaction — the pre-cache behaviour, kept selectable so the
+        regression tests can assert both paths produce bit-identical
+        proposals and the benchmarks can quantify the cache's effect.
     seed:
         Seed of the optimizer's RNG.
     """
@@ -103,6 +128,7 @@ class BayesianOptimizer:
         liar_strategy: str = "kernel_penalty",
         random_sampling: bool = False,
         refit_interval: int = 1,
+        incremental: bool = True,
         objective: Optional[Objective] = None,
         seed: int = 0,
     ):
@@ -121,6 +147,7 @@ class BayesianOptimizer:
         if refit_interval < 1:
             raise ValueError("refit_interval must be >= 1")
         self.refit_interval = int(refit_interval)
+        self.incremental = bool(incremental)
         self._new_since_fit = 0
         self.objective = objective or Objective()
         self.rng = np.random.default_rng(seed)
@@ -138,6 +165,13 @@ class BayesianOptimizer:
         self._configs: List[Configuration] = []
         self._objectives: List[float] = []
         self._evaluated_keys: set = set()
+        # Incremental encoded-history cache (capacity-doubling buffers).
+        self._enc_dim = (
+            space.one_hot_dimension() if self.encoding == "one_hot" else len(space)
+        )
+        self._X_buf = np.empty((0, self._enc_dim), dtype=float)
+        self._y_buf = np.empty(0, dtype=float)
+        self._n_rows = 0
         self.last_tell_duration = 0.0
         self.last_ask_duration = 0.0
         self.num_fits = 0
@@ -148,14 +182,51 @@ class BayesianOptimizer:
         """Number of evaluations told to the optimizer so far."""
         return len(self._configs)
 
-    def _encode(self, configs: Sequence[Configuration]) -> np.ndarray:
+    def _encode(self, configs: ConfigsLike) -> np.ndarray:
         if self.encoding == "one_hot":
             return self.space.to_one_hot_array(configs)
         return self.space.to_numeric_array(configs)
 
     @staticmethod
     def _key(config: Configuration) -> tuple:
+        """Legacy repr-based dedup key (kept for tests and benchmarks)."""
         return tuple(sorted((k, repr(v)) for k, v in config.items()))
+
+    def _key_bytes(self, configs: ConfigsLike) -> List[bytes]:
+        """One stable dedup key per configuration, from the raw-value rows."""
+        return [row.tobytes() for row in self.space.key_array(configs)]
+
+    # ------------------------------------------------------- history buffers
+    def _append_history(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
+        """Append encoded rows/objectives into the capacity-doubling buffers."""
+        count = X_new.shape[0]
+        needed = self._n_rows + count
+        if needed > self._X_buf.shape[0]:
+            capacity = max(64, 2 * self._X_buf.shape[0])
+            while capacity < needed:
+                capacity *= 2
+            X_grown = np.empty((capacity, self._enc_dim), dtype=float)
+            X_grown[: self._n_rows] = self._X_buf[: self._n_rows]
+            self._X_buf = X_grown
+            y_grown = np.empty(capacity, dtype=float)
+            y_grown[: self._n_rows] = self._y_buf[: self._n_rows]
+            self._y_buf = y_grown
+        self._X_buf[self._n_rows : needed] = X_new
+        self._y_buf[self._n_rows : needed] = y_new
+        self._n_rows = needed
+
+    def _train_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The encoded training matrix and objective vector.
+
+        With the incremental cache these are views into the append-only
+        buffers; without it the full history is re-encoded (pre-cache
+        behaviour, bit-identical because the column codecs are elementwise).
+        """
+        if self.incremental:
+            return self._X_buf[: self._n_rows], self._y_buf[: self._n_rows]
+        X = self._encode(self._configs)
+        y = np.asarray(self._objectives, dtype=float)
+        return X, y
 
     # ------------------------------------------------------------------- tell
     def tell(self, configurations: Sequence[Configuration], objectives: Sequence[float]) -> None:
@@ -169,19 +240,22 @@ class BayesianOptimizer:
         if not configurations:
             return
         start = time.perf_counter()
-        for config, obj in zip(configurations, objectives):
-            self._configs.append(dict(config))
-            self._objectives.append(self.objective.fill_failure(obj))
-            self._evaluated_keys.add(self._key(config))
-            self._new_since_fit += 1
+        new_configs = [dict(config) for config in configurations]
+        batch = ColumnBatch.from_configurations(self.space, new_configs)
+        filled = [self.objective.fill_failure(obj) for obj in objectives]
+        self._configs.extend(new_configs)
+        self._objectives.extend(filled)
+        self._evaluated_keys.update(self._key_bytes(batch))
+        self._new_since_fit += len(new_configs)
+        if self.incremental:
+            self._append_history(self._encode(batch), np.asarray(filled, dtype=float))
         should_fit = (
             not self.random_sampling
             and self.num_observations >= self.n_initial_points
             and (not self.surrogate.fitted or self._new_since_fit >= self.refit_interval)
         )
         if should_fit:
-            X = self._encode(self._configs)
-            y = np.asarray(self._objectives, dtype=float)
+            X, y = self._train_data()
             self.surrogate.fit(X, y)
             self.num_fits += 1
             self._new_since_fit = 0
@@ -203,16 +277,26 @@ class BayesianOptimizer:
             self.last_ask_duration = time.perf_counter() - start
             return proposals
 
-        # Candidate generation from the (possibly informative) prior.
-        candidates = self.space.sample(self.num_candidates, self.rng, prior=self.prior)
-        # Filter out configurations already evaluated.
-        fresh = [c for c in candidates if self._key(c) not in self._evaluated_keys]
-        if len(fresh) < n:
-            fresh.extend(self._sample_unique(n - len(fresh)))
+        # Candidate generation from the (possibly informative) prior, columnar.
+        candidates = self.space.sample_columns(self.num_candidates, self.rng, prior=self.prior)
+        keys = self._key_bytes(candidates)
+        evaluated = self._evaluated_keys
+        fresh_idx = np.fromiter(
+            (i for i, key in enumerate(keys) if key not in evaluated),
+            dtype=np.intp,
+        )
+        fresh_configs: Optional[List[Configuration]] = None
+        if fresh_idx.shape[0] < n:
+            # Not enough unseen candidates: top up via the unique sampler and
+            # fall back to a materialised (row-major) fresh set.
+            fresh_configs = candidates.take(fresh_idx).to_configurations()
+            fresh_configs.extend(self._sample_unique(n - len(fresh_configs)))
+            fresh: ConfigsLike = ColumnBatch.from_configurations(self.space, fresh_configs)
+        else:
+            fresh = candidates.take(fresh_idx)
         encoded = self._encode(fresh)
         unit = self.space.to_unit_array(fresh)
-        train_X = self._encode(self._configs)
-        train_y = np.asarray(self._objectives, dtype=float)
+        train_X, train_y = self._train_data()
         indices = self.liar.select(
             n,
             surrogate=self.surrogate,
@@ -222,24 +306,45 @@ class BayesianOptimizer:
             train_X=train_X,
             train_y=train_y,
         )
-        proposals = [fresh[i] for i in indices]
+        if fresh_configs is not None:
+            proposals = [fresh_configs[i] for i in indices]
+        else:
+            proposals = fresh.take(np.asarray(indices, dtype=np.intp)).to_configurations()
         self.last_ask_duration = time.perf_counter() - start
         return proposals
 
     def _sample_unique(self, n: int) -> List[Configuration]:
-        """Sample ``n`` prior configurations, avoiding duplicates if possible."""
+        """Sample ``n`` prior configurations, avoiding duplicates if possible.
+
+        When the (finite) space is already exhausted — every distinct
+        configuration has been evaluated — resampling can never produce a
+        fresh configuration, so the loop is short-circuited and duplicates are
+        knowingly returned: handing a worker a repeated configuration is
+        preferable to stalling the asynchronous search.
+        """
+        cardinality = self.space.cardinality
+        if math.isfinite(cardinality) and len(self._evaluated_keys) >= cardinality:
+            return self.space.sample_columns(n, self.rng, prior=self.prior).to_configurations()
         proposals: List[Configuration] = []
         attempts = 0
         while len(proposals) < n and attempts < 20:
-            batch = self.space.sample(max(n, 8), self.rng, prior=self.prior)
-            for config in batch:
+            batch = self.space.sample_columns(max(n, 8), self.rng, prior=self.prior)
+            keys = self._key_bytes(batch)
+            configs = batch.to_configurations()
+            for config, key in zip(configs, keys):
                 if len(proposals) >= n:
                     break
-                if self._key(config) not in self._evaluated_keys:
+                if key not in self._evaluated_keys:
                     proposals.append(config)
             attempts += 1
         while len(proposals) < n:
-            proposals.extend(self.space.sample(n - len(proposals), self.rng, prior=self.prior))
+            # Duplicate fallback: the attempt budget is spent (near-exhausted
+            # space or extremely concentrated prior); accept repeats.
+            proposals.extend(
+                self.space.sample_columns(
+                    n - len(proposals), self.rng, prior=self.prior
+                ).to_configurations()
+            )
         return proposals[:n]
 
     # ------------------------------------------------------------------- best

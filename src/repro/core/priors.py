@@ -14,6 +14,13 @@ Bayesian optimization in the paper samples candidate configurations from a
 This module provides the per-parameter priors, the independent joint prior,
 and a mixture wrapper used to blend an informative prior with a fraction of
 uniform exploration.
+
+Sampling is columnar: per-parameter priors draw whole NumPy columns
+(:meth:`ParameterPrior.sample_array`) and joint priors assemble column
+dictionaries (:meth:`JointPrior.sample_columns`), so the optimizer's
+candidate-generation hot path never materialises per-configuration Python
+dicts.  The row-major ``sample``/``sample_configurations`` methods are thin
+materialising wrappers kept for API compatibility.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import numpy as np
 
 from repro.core.space import (
     CategoricalParameter,
+    ColumnBatch,
     Configuration,
     IntegerParameter,
     OrdinalParameter,
@@ -50,9 +58,13 @@ class ParameterPrior:
     def __init__(self, parameter: Parameter):
         self.parameter = parameter
 
-    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
-        """Draw ``n`` values."""
+    def sample_array(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` values as a NumPy column (the hot-path entry point)."""
         raise NotImplementedError
+
+    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+        """Draw ``n`` values as a list of Python scalars."""
+        return self.sample_array(n, rng).tolist()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.parameter.name!r})"
@@ -61,15 +73,14 @@ class ParameterPrior:
 class UniformPrior(ParameterPrior):
     """Uniform prior over the parameter's domain (Algorithm 1, l. 6)."""
 
-    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+    def sample_array(self, n: int, rng: np.random.Generator) -> np.ndarray:
         p = self.parameter
-        if isinstance(p, (RealParameter, IntegerParameter)):
-            lows, highs = p.low, p.high
-            if isinstance(p, RealParameter):
-                return [float(v) for v in rng.uniform(lows, highs, size=n)]
-            return [int(v) for v in rng.integers(lows, highs + 1, size=n)]
+        if isinstance(p, RealParameter):
+            return rng.uniform(p.low, p.high, size=n)
+        if isinstance(p, IntegerParameter):
+            return rng.integers(p.low, p.high + 1, size=n)
         # categorical / ordinal: uniform over categories.
-        return list(p.sample(rng, size=n))
+        return np.asarray(p.sample(rng, size=n))
 
 
 class LogUniformPrior(ParameterPrior):
@@ -82,13 +93,13 @@ class LogUniformPrior(ParameterPrior):
         if parameter.low <= 0:
             raise ValueError("LogUniformPrior requires a positive lower bound")
 
-    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+    def sample_array(self, n: int, rng: np.random.Generator) -> np.ndarray:
         p = self.parameter
         lo, hi = np.log(p.low), np.log(p.high)
         raw = np.exp(rng.uniform(lo, hi, size=n))
         if isinstance(p, IntegerParameter):
-            return [int(min(p.high, max(p.low, round(v)))) for v in raw]
-        return [float(v) for v in raw]
+            return np.clip(np.rint(raw), p.low, p.high).astype(int)
+        return raw
 
 
 class CategoricalPrior(ParameterPrior):
@@ -115,6 +126,9 @@ class CategoricalPrior(ParameterPrior):
         else:
             raise TypeError("CategoricalPrior requires a categorical/ordinal parameter")
         self.values = tuple(values)
+        self._values_array = np.empty(len(self.values), dtype=object)
+        for i, value in enumerate(self.values):
+            self._values_array[i] = value
         if probabilities is None:
             probabilities = [1.0 / len(self.values)] * len(self.values)
         probabilities = np.asarray(probabilities, dtype=float)
@@ -129,9 +143,9 @@ class CategoricalPrior(ParameterPrior):
             raise ValueError("probabilities must not all be zero")
         self.probabilities = probabilities / total
 
-    def sample(self, n: int, rng: np.random.Generator) -> List[Any]:
+    def sample_array(self, n: int, rng: np.random.Generator) -> np.ndarray:
         idx = rng.choice(len(self.values), size=n, p=self.probabilities)
-        return [self.values[int(i)] for i in idx]
+        return self._values_array[idx]
 
 
 class JointPrior:
@@ -140,8 +154,18 @@ class JointPrior:
     space: SearchSpace
 
     def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
-        """Draw ``n`` full configurations of :attr:`space`."""
+        """Draw ``n`` full configurations of :attr:`space` (row-major dicts)."""
         raise NotImplementedError
+
+    def sample_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Draw ``n`` configurations as per-parameter columns.
+
+        The default implementation materialises row-major configurations and
+        re-extracts columns — subclasses override it with a direct columnar
+        path so candidate generation stays free of per-row Python objects.
+        """
+        configs = self.sample_configurations(n, rng)
+        return ColumnBatch.from_configurations(self.space, configs).columns
 
 
 class IndependentPrior(JointPrior):
@@ -175,14 +199,15 @@ class IndependentPrior(JointPrior):
         """The per-parameter prior for ``name``."""
         return self._priors[name]
 
+    def sample_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        if n <= 0:
+            return {name: prior.sample_array(0, rng) for name, prior in self._priors.items()}
+        return {name: prior.sample_array(n, rng) for name, prior in self._priors.items()}
+
     def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
         if n <= 0:
             return []
-        columns = {name: prior.sample(n, rng) for name, prior in self._priors.items()}
-        return [
-            {name: columns[name][i] for name in self.space.parameter_names}
-            for i in range(n)
-        ]
+        return ColumnBatch(self.space, self.sample_columns(n, rng)).to_configurations()
 
 
 class MixturePrior(JointPrior):
@@ -203,16 +228,42 @@ class MixturePrior(JointPrior):
         self.weights = weights / weights.sum()
         self.space = components[0].space
 
+    def sample_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        if n <= 0:
+            return {p.name: np.empty(0, dtype=object) for p in self.space}
+        counts = rng.multinomial(n, self.weights)
+        parts: List[Dict[str, np.ndarray]] = []
+        for component, count in zip(self.components, counts):
+            if count > 0:
+                parts.append(component.sample_columns(int(count), rng))
+        permutation = rng.permutation(n)
+        return _concat_shuffle_columns(self.space, parts, permutation)
+
     def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
         if n <= 0:
             return []
-        counts = rng.multinomial(n, self.weights)
-        configs: List[Configuration] = []
-        for component, count in zip(self.components, counts):
-            if count > 0:
-                configs.extend(component.sample_configurations(int(count), rng))
-        rng.shuffle(configs)
-        return configs
+        return ColumnBatch(self.space, self.sample_columns(n, rng)).to_configurations()
+
+
+def _concat_shuffle_columns(
+    space: SearchSpace,
+    parts: Sequence[Mapping[str, np.ndarray]],
+    permutation: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Concatenate column dictionaries and apply one shared row permutation."""
+    out: Dict[str, np.ndarray] = {}
+    for p in space:
+        pieces = [np.asarray(part[p.name]) for part in parts]
+        if len(pieces) == 1:
+            column = pieces[0]
+        else:
+            # Preserve object columns through concatenation (mixed dtypes
+            # between components must not silently up-cast).
+            if any(piece.dtype == object for piece in pieces):
+                pieces = [piece.astype(object) for piece in pieces]
+            column = np.concatenate(pieces)
+        out[p.name] = column[permutation]
+    return out
 
 
 def default_prior(parameter: Parameter) -> ParameterPrior:

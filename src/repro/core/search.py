@@ -118,6 +118,11 @@ class CBOSearch:
         Worker time consumed by failed evaluations (600 s in the paper).
     objective:
         Objective transform (defaults to ``-log(runtime)``).
+    incremental:
+        Whether the optimizer caches the encoded history incrementally
+        (default) or re-encodes it per interaction; see
+        :class:`~repro.core.optimizer.BayesianOptimizer`.  Both settings
+        produce identical searches — only real wall-clock time differs.
     seed:
         RNG seed.
     """
@@ -138,6 +143,7 @@ class CBOSearch:
         objective: Optional[Objective] = None,
         random_sampling: bool = False,
         refit_interval: int = 1,
+        incremental: bool = True,
         seed: int = 0,
     ):
         self.space = space
@@ -154,6 +160,7 @@ class CBOSearch:
             liar_strategy=liar_strategy,
             random_sampling=random_sampling,
             refit_interval=refit_interval,
+            incremental=incremental,
             objective=self.objective,
             seed=seed,
         )
@@ -209,7 +216,7 @@ class CBOSearch:
             now, completed = evaluator.wait_any(max_time)
             if not completed:
                 break
-            for ev in completed:
+            recorded = [
                 history.record(
                     ev.configuration,
                     runtime=ev.runtime,
@@ -217,8 +224,15 @@ class CBOSearch:
                     completed=ev.completed,
                     worker=ev.worker,
                 )
-            objectives = [self.objective.from_runtime(ev.runtime) for ev in completed]
-            self.optimizer.tell([ev.configuration for ev in completed], objectives)
+                for ev in completed
+            ]
+            # The recorded evaluations already hold the objective transform of
+            # each runtime — feed those to the optimizer instead of
+            # re-deriving them.
+            self.optimizer.tell(
+                [ev.configuration for ev in completed],
+                [rec.objective for rec in recorded],
+            )
             evaluator.advance_to(
                 evaluator.now + self.overhead.tell_cost(self.optimizer, len(completed))
             )

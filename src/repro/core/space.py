@@ -15,21 +15,47 @@ parameters.  This module provides the corresponding space description:
 * :class:`SearchSpace` — an ordered collection of parameters with sampling,
   validation, and numeric encodings used by the surrogate models.
 
-Configurations are plain ``dict`` objects mapping parameter names to values
-(alias :data:`Configuration`), which keeps the public API ergonomic and makes
-CSV round-tripping trivial.
+Configurations have two representations:
+
+* plain ``dict`` objects mapping parameter names to values (alias
+  :data:`Configuration`) — the ergonomic public form consumed by evaluators
+  and CSV round-tripping;
+* :class:`ColumnBatch` — a structure-of-arrays (columnar) batch holding one
+  NumPy array per parameter.  The hot paths of the optimizer (candidate
+  generation, history encoding, dedup keys) operate on columns and only
+  materialise dicts for the few configurations that are actually proposed.
+
+All encodings (:meth:`SearchSpace.to_unit_array`,
+:meth:`SearchSpace.to_numeric_array`, :meth:`SearchSpace.to_one_hot_array`,
+:meth:`SearchSpace.from_unit_array`) are vectorised column-wise through the
+per-parameter ``to_unit_vec`` / ``from_unit_vec`` codecs.  The original
+per-element loops are kept as ``*_loop`` reference implementations: they are
+exercised by the property-based equivalence tests and used by the benchmark
+suite to reconstruct the pre-columnar cost profile.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 __all__ = [
     "Configuration",
+    "ColumnBatch",
     "Parameter",
     "IntegerParameter",
     "RealParameter",
@@ -50,6 +76,11 @@ class Parameter(ABC):
     * native values (what the evaluated workflow consumes),
     * the unit interval ``[0, 1]`` (what the samplers and the VAE consume),
     * a numeric surrogate encoding (what the regression models consume).
+
+    Scalar codecs (:meth:`to_unit` / :meth:`from_unit`) have vectorised
+    counterparts (:meth:`to_unit_vec` / :meth:`from_unit_vec`) operating on
+    whole value columns at once; subclasses override them with NumPy
+    implementations, the base class falls back to a per-element loop.
     """
 
     def __init__(self, name: str):
@@ -74,16 +105,28 @@ class Parameter(ABC):
     def from_unit(self, u: float) -> Any:
         """Map a unit-interval position back to a native value."""
 
+    def to_unit_vec(self, values: Sequence[Any]) -> np.ndarray:
+        """Map a column of native values into the unit interval (vectorised)."""
+        return np.asarray([self.to_unit(v) for v in values], dtype=float)
+
+    def from_unit_vec(self, u: np.ndarray) -> np.ndarray:
+        """Map a column of unit-interval positions back to native values."""
+        return np.asarray([self.from_unit(float(v)) for v in np.asarray(u).ravel()])
+
     @property
     @abstractmethod
     def cardinality(self) -> float:
         """Number of distinct values (``inf`` for continuous parameters)."""
 
     # ------------------------------------------------------------- comparison
+    def _comparable_dict(self) -> Dict[str, Any]:
+        # Lazily-built lookup caches must not affect parameter equality.
+        return {k: v for k, v in self.__dict__.items() if not k.endswith("_cache")}
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Parameter):
             return NotImplemented
-        return type(self) is type(other) and self.__dict__ == other.__dict__
+        return type(self) is type(other) and self._comparable_dict() == other._comparable_dict()
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.name))
@@ -127,7 +170,7 @@ class RealParameter(Parameter):
         u = rng.random(size)
         if size is None:
             return self.from_unit(float(u))
-        return np.asarray([self.from_unit(float(v)) for v in np.atleast_1d(u)])
+        return self.from_unit_vec(np.atleast_1d(u))
 
     def contains(self, value: Any) -> bool:
         try:
@@ -152,6 +195,22 @@ class RealParameter(Parameter):
             value = float(self.low + u * (self.high - self.low))
         # Clamp away floating-point overshoot (exp(log(high)) can exceed high).
         return min(self.high, max(self.low, value))
+
+    def to_unit_vec(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray(values, dtype=float)
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            return (np.log(np.maximum(v, self.low)) - lo) / (hi - lo)
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit_vec(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            value = np.exp(lo + u * (hi - lo))
+        else:
+            value = self.low + u * (self.high - self.low)
+        return np.clip(value, self.low, self.high)
 
     @property
     def cardinality(self) -> float:
@@ -194,7 +253,7 @@ class IntegerParameter(Parameter):
         u = rng.random(size)
         if size is None:
             return self.from_unit(float(u))
-        return np.asarray([self.from_unit(float(v)) for v in np.atleast_1d(u)], dtype=int)
+        return self.from_unit_vec(np.atleast_1d(u))
 
     def contains(self, value: Any) -> bool:
         try:
@@ -219,6 +278,23 @@ class IntegerParameter(Parameter):
             raw = self.low + u * (self.high - self.low)
         return int(min(self.high, max(self.low, round(raw))))
 
+    def to_unit_vec(self, values: Sequence[Any]) -> np.ndarray:
+        v = np.asarray(values, dtype=float)
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            return (np.log(np.maximum(v, self.low)) - lo) / (hi - lo)
+        return (v - self.low) / (self.high - self.low)
+
+    def from_unit_vec(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        if self.log:
+            lo, hi = _log_low_high(self.low, self.high)
+            raw = np.exp(lo + u * (hi - lo))
+        else:
+            raw = self.low + u * (self.high - self.low)
+        # np.rint rounds half-to-even, matching the scalar round() above.
+        return np.clip(np.rint(raw), self.low, self.high).astype(int)
+
     @property
     def cardinality(self) -> float:
         return float(self.high - self.low + 1)
@@ -228,7 +304,55 @@ class IntegerParameter(Parameter):
         return f"IntegerParameter({self.name!r}, [{self.low}, {self.high}]{tag})"
 
 
-class CategoricalParameter(Parameter):
+class _IndexedDiscreteMixin:
+    """Shared index machinery for categorical and ordinal parameters.
+
+    The value→index map uses first-wins insertion so lookups agree with the
+    linear ``==`` scan even for cross-type equal values (``True == 1``);
+    unhashable or unknown values fall back to the scan.
+    """
+
+    _domain: Tuple[Any, ...]
+
+    def _index_map(self) -> Dict[Any, int]:
+        cached = getattr(self, "_index_map_cache", None)
+        if cached is None:
+            cached = {}
+            for i, value in enumerate(self._domain):
+                if value not in cached:
+                    cached[value] = i
+            self._index_map_cache = cached
+        return cached
+
+    def _domain_array(self) -> np.ndarray:
+        cached = getattr(self, "_domain_array_cache", None)
+        if cached is None:
+            cached = np.empty(len(self._domain), dtype=object)
+            for i, value in enumerate(self._domain):
+                cached[i] = value
+            self._domain_array_cache = cached
+        return cached
+
+    def index_of(self, value: Any) -> int:
+        """Index of ``value`` in the domain tuple."""
+        try:
+            idx = self._index_map().get(value)
+        except TypeError:  # unhashable value
+            idx = None
+        if idx is not None:
+            return idx
+        for i, v in enumerate(self._domain):
+            if value == v:
+                return i
+        raise ValueError(f"{value!r} is not a value of {self.name}")  # type: ignore[attr-defined]
+
+    def indices_vec(self, values: Sequence[Any]) -> np.ndarray:
+        """Indices of a column of values (vectorised lookup)."""
+        index_of = self.index_of
+        return np.fromiter((index_of(v) for v in values), dtype=np.intp, count=len(values))
+
+
+class CategoricalParameter(_IndexedDiscreteMixin, Parameter):
     """An unordered categorical parameter.
 
     Parameters
@@ -250,6 +374,10 @@ class CategoricalParameter(Parameter):
             raise ValueError(f"{name}: duplicate categories {cats!r}")
         self.categories: Tuple[Any, ...] = tuple(cats)
 
+    @property
+    def _domain(self) -> Tuple[Any, ...]:
+        return self.categories
+
     @classmethod
     def boolean(cls, name: str) -> "CategoricalParameter":
         """Convenience constructor for a True/False parameter."""
@@ -259,17 +387,10 @@ class CategoricalParameter(Parameter):
         idx = rng.integers(0, len(self.categories), size=size)
         if size is None:
             return self.categories[int(idx)]
-        return np.asarray([self.categories[int(i)] for i in np.atleast_1d(idx)], dtype=object)
+        return self._domain_array()[np.atleast_1d(idx)]
 
     def contains(self, value: Any) -> bool:
         return any(value == c and type(value) is type(c) or value == c for c in self.categories)
-
-    def index_of(self, value: Any) -> int:
-        """Index of ``value`` in the category tuple."""
-        for i, c in enumerate(self.categories):
-            if value == c:
-                return i
-        raise ValueError(f"{value!r} is not a category of {self.name}")
 
     def to_unit(self, value: Any) -> float:
         n = len(self.categories)
@@ -281,6 +402,16 @@ class CategoricalParameter(Parameter):
         idx = min(n - 1, int(u * n))
         return self.categories[idx]
 
+    def to_unit_vec(self, values: Sequence[Any]) -> np.ndarray:
+        n = len(self.categories)
+        return (self.indices_vec(values) + 0.5) / n
+
+    def from_unit_vec(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        n = len(self.categories)
+        idx = np.minimum(n - 1, (u * n).astype(np.intp))
+        return self._domain_array()[idx]
+
     @property
     def cardinality(self) -> float:
         return float(len(self.categories))
@@ -289,7 +420,7 @@ class CategoricalParameter(Parameter):
         return f"CategoricalParameter({self.name!r}, {list(self.categories)!r})"
 
 
-class OrdinalParameter(Parameter):
+class OrdinalParameter(_IndexedDiscreteMixin, Parameter):
     """An ordered discrete parameter with an explicit value list.
 
     Used for parameters such as ``PESperNode`` whose domain is {1, 2, 4, 8,
@@ -310,6 +441,10 @@ class OrdinalParameter(Parameter):
             raise ValueError(f"{name}: duplicate values {vals!r}")
         self.values: Tuple[Any, ...] = tuple(vals)
 
+    @property
+    def _domain(self) -> Tuple[Any, ...]:
+        return self.values
+
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         idx = rng.integers(0, len(self.values), size=size)
         if size is None:
@@ -318,13 +453,6 @@ class OrdinalParameter(Parameter):
 
     def contains(self, value: Any) -> bool:
         return any(value == v for v in self.values)
-
-    def index_of(self, value: Any) -> int:
-        """Index of ``value`` in the ordered value tuple."""
-        for i, v in enumerate(self.values):
-            if value == v:
-                return i
-        raise ValueError(f"{value!r} is not a value of {self.name}")
 
     def to_unit(self, value: Any) -> float:
         n = len(self.values)
@@ -336,6 +464,16 @@ class OrdinalParameter(Parameter):
         idx = min(n - 1, int(u * n))
         return self.values[idx]
 
+    def to_unit_vec(self, values: Sequence[Any]) -> np.ndarray:
+        n = len(self.values)
+        return (self.indices_vec(values) + 0.5) / n
+
+    def from_unit_vec(self, u: np.ndarray) -> np.ndarray:
+        u = np.clip(np.asarray(u, dtype=float), 0.0, 1.0)
+        n = len(self.values)
+        idx = np.minimum(n - 1, (u * n).astype(np.intp))
+        return self._domain_array()[idx]
+
     @property
     def cardinality(self) -> float:
         return float(len(self.values))
@@ -344,13 +482,109 @@ class OrdinalParameter(Parameter):
         return f"OrdinalParameter({self.name!r}, {list(self.values)!r})"
 
 
+class ColumnBatch:
+    """A batch of configurations in structure-of-arrays (columnar) form.
+
+    One NumPy array per parameter, all of equal length.  This is the hot-path
+    representation: priors sample directly into columns, the space encodes
+    columns without building intermediate dicts, and the optimizer only
+    materialises plain-``dict`` configurations (:meth:`to_configurations`)
+    for the few candidates it actually proposes.
+    """
+
+    __slots__ = ("space", "_columns", "_n")
+
+    def __init__(self, space: "SearchSpace", columns: Mapping[str, np.ndarray]):
+        self.space = space
+        self._columns: Dict[str, np.ndarray] = {}
+        n = None
+        for p in space:
+            if p.name not in columns:
+                raise ValueError(f"missing column for parameter {p.name!r}")
+            col = np.asarray(columns[p.name])
+            if col.ndim != 1:
+                raise ValueError(f"column {p.name!r} must be one-dimensional")
+            if n is None:
+                n = col.shape[0]
+            elif col.shape[0] != n:
+                raise ValueError("all columns must have equal length")
+            self._columns[p.name] = col
+        self._n = int(n or 0)
+
+    # ---------------------------------------------------------------- dunders
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------ views
+    @property
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The per-parameter columns (parameter name → array)."""
+        return dict(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """The column of parameter ``name``."""
+        return self._columns[name]
+
+    def take(self, indices: Union[Sequence[int], np.ndarray]) -> "ColumnBatch":
+        """A new batch holding the rows at ``indices`` (in that order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return ColumnBatch(
+            self.space, {name: col[idx] for name, col in self._columns.items()}
+        )
+
+    def row(self, i: int) -> Configuration:
+        """Materialise row ``i`` as a plain-dict configuration."""
+        config: Configuration = {}
+        for name, col in self._columns.items():
+            value = col[i]
+            config[name] = value.item() if isinstance(value, np.generic) else value
+        return config
+
+    def to_configurations(self) -> List[Configuration]:
+        """Materialise the whole batch as plain-dict configurations.
+
+        Values are converted to Python scalars (``ndarray.tolist``), so the
+        dicts round-trip through ``repr``/CSV exactly like scalar-sampled
+        configurations.
+        """
+        names = self.space.parameter_names
+        lists = [self._columns[name].tolist() for name in names]
+        return [dict(zip(names, row)) for row in zip(*lists)]
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_configurations(
+        cls, space: "SearchSpace", configs: Sequence[Mapping[str, Any]]
+    ) -> "ColumnBatch":
+        """Build a columnar batch from row-major configurations."""
+        columns: Dict[str, np.ndarray] = {}
+        for p in space:
+            values = [config[p.name] for config in configs]
+            if isinstance(p, (RealParameter, IntegerParameter)):
+                columns[p.name] = np.asarray(values)
+            else:
+                col = np.empty(len(values), dtype=object)
+                for i, v in enumerate(values):
+                    col[i] = v
+                columns[p.name] = col
+        return cls(space, columns)
+
+    def __repr__(self) -> str:
+        return f"<ColumnBatch n={self._n} space={self.space!r}>"
+
+
+#: Inputs accepted by the vectorised space codecs.
+ConfigsLike = Union[Sequence[Mapping[str, Any]], ColumnBatch]
+
+
 class SearchSpace:
     """An ordered collection of :class:`Parameter` objects.
 
     The space provides:
 
     * random sampling of configurations (optionally from a
-      :class:`~repro.core.priors.JointPrior`),
+      :class:`~repro.core.priors.JointPrior`), both row-major
+      (:meth:`sample`) and columnar (:meth:`sample_columns`),
     * validation of configurations,
     * numeric encodings for the surrogate models (ordinal encoding and
       one-hot encoding), and
@@ -446,7 +680,7 @@ class SearchSpace:
         rng: np.random.Generator,
         prior: Optional["JointPriorLike"] = None,
     ) -> List[Configuration]:
-        """Draw ``n`` configurations.
+        """Draw ``n`` configurations (row-major dicts).
 
         Parameters
         ----------
@@ -466,10 +700,29 @@ class SearchSpace:
         if prior is not None:
             configs = prior.sample_configurations(n, rng)
             return [self.clip(c) for c in configs]
-        configs = []
-        for _ in range(n):
-            configs.append({p.name: p.sample(rng) for p in self._params})
-        return configs
+        return self.sample_columns(n, rng).to_configurations()
+
+    def sample_columns(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        prior: Optional["JointPriorLike"] = None,
+    ) -> ColumnBatch:
+        """Draw ``n`` configurations directly into a columnar batch.
+
+        This is the hot-path variant of :meth:`sample`: no per-configuration
+        dicts are built.  Priors implementing ``sample_columns`` (all priors
+        in :mod:`repro.core.priors` and :mod:`repro.core.transfer`) sample
+        whole columns at once and are trusted to produce in-domain values, so
+        no per-row clipping pass is needed.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if prior is not None:
+            return ColumnBatch(self, prior.sample_columns(n, rng))
+        return ColumnBatch(
+            self, {p.name: p.sample(rng, size=n) for p in self._params}
+        )
 
     def clip(self, config: Mapping[str, Any]) -> Configuration:
         """Project an arbitrary mapping onto the closest legal configuration."""
@@ -495,47 +748,61 @@ class SearchSpace:
                 out[p.name] = p.from_unit(0.5) if not _snappable(p, value) else _snap(p, value)
         return out
 
+    # ----------------------------------------------------- column extraction
+    def _column_values(self, configs: ConfigsLike) -> Tuple[int, List[Any]]:
+        """Per-parameter value columns of ``configs`` (dicts or ColumnBatch)."""
+        if isinstance(configs, ColumnBatch):
+            if configs.space is not self and configs.space != self:
+                raise ValueError("the batch belongs to a different search space")
+            return len(configs), [configs.column(p.name) for p in self._params]
+        columns = []
+        for p in self._params:
+            columns.append([config[p.name] for config in configs])
+        return len(configs), columns
+
     # -------------------------------------------------------------- encodings
-    def to_unit_array(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+    def to_unit_array(self, configs: ConfigsLike) -> np.ndarray:
         """Encode configurations into the unit hypercube (one row per config)."""
-        arr = np.empty((len(configs), len(self._params)), dtype=float)
-        for i, config in enumerate(configs):
-            for j, p in enumerate(self._params):
-                arr[i, j] = p.to_unit(config[p.name])
+        n, columns = self._column_values(configs)
+        arr = np.empty((n, len(self._params)), dtype=float)
+        for j, (p, col) in enumerate(zip(self._params, columns)):
+            arr[:, j] = p.to_unit_vec(col)
         return arr
 
     def from_unit_array(self, arr: np.ndarray) -> List[Configuration]:
         """Decode unit-hypercube rows back into configurations."""
+        return self.from_unit_columns(arr).to_configurations()
+
+    def from_unit_columns(self, arr: np.ndarray) -> ColumnBatch:
+        """Decode unit-hypercube rows into a columnar batch."""
         arr = np.atleast_2d(np.asarray(arr, dtype=float))
         if arr.shape[1] != len(self._params):
             raise ValueError(
                 f"expected {len(self._params)} columns, got {arr.shape[1]}"
             )
-        configs = []
-        for row in arr:
-            configs.append(
-                {p.name: p.from_unit(float(u)) for p, u in zip(self._params, row)}
-            )
-        return configs
+        return ColumnBatch(
+            self,
+            {p.name: p.from_unit_vec(arr[:, j]) for j, p in enumerate(self._params)},
+        )
 
-    def to_numeric_array(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+    def to_numeric_array(self, configs: ConfigsLike) -> np.ndarray:
         """Ordinal numeric encoding used by tree-based surrogates.
 
         Integer/real parameters map to their value, log-scaled when the
         parameter is log-uniform; categorical and ordinal parameters map to
-        their index.
+        their index.  For log-uniform parameters, values are clipped to the
+        parameter's (strictly positive) lower bound before taking the log, so
+        a non-positive out-of-domain value can never silently mix a
+        linear-scale number into an otherwise log-scale column.
         """
-        arr = np.empty((len(configs), len(self._params)), dtype=float)
-        for i, config in enumerate(configs):
-            for j, p in enumerate(self._params):
-                value = config[p.name]
-                if isinstance(p, (RealParameter, IntegerParameter)):
-                    v = float(value)
-                    arr[i, j] = math.log(v) if p.log and v > 0 else v
-                elif isinstance(p, CategoricalParameter):
-                    arr[i, j] = float(p.index_of(value))
-                else:
-                    arr[i, j] = float(p.index_of(value))
+        n, columns = self._column_values(configs)
+        arr = np.empty((n, len(self._params)), dtype=float)
+        for j, (p, col) in enumerate(zip(self._params, columns)):
+            if isinstance(p, (RealParameter, IntegerParameter)):
+                v = np.asarray(col, dtype=float)
+                arr[:, j] = np.log(np.maximum(v, p.low)) if p.log else v
+            else:
+                arr[:, j] = p.indices_vec(col)
         return arr
 
     def one_hot_dimension(self) -> int:
@@ -548,13 +815,88 @@ class SearchSpace:
                 dim += 1
         return dim
 
-    def to_one_hot_array(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+    def to_one_hot_array(self, configs: ConfigsLike) -> np.ndarray:
         """One-hot encoding used by the Gaussian-process surrogate.
 
         Numeric and ordinal parameters occupy one column each (scaled to the
         unit interval); each categorical parameter expands into one column per
         category.
         """
+        n, columns = self._column_values(configs)
+        arr = np.zeros((n, self.one_hot_dimension()), dtype=float)
+        rows = np.arange(n)
+        col = 0
+        for p, values in zip(self._params, columns):
+            if isinstance(p, CategoricalParameter):
+                arr[rows, col + p.indices_vec(values)] = 1.0
+                col += len(p.categories)
+            else:
+                arr[:, col] = p.to_unit_vec(values)
+                col += 1
+        return arr
+
+    def key_array(self, configs: ConfigsLike) -> np.ndarray:
+        """Raw-value matrix used for exact-duplicate detection (one row per config).
+
+        Numeric parameters contribute their raw value (no log scaling, no unit
+        transform — raw values pass through sampling, proposal and ``tell``
+        bitwise unchanged, whereas transcendental transforms may differ in the
+        last ulp between code paths); discrete parameters contribute their
+        index.  ``row.tobytes()`` of a row is therefore a stable dedup key.
+        """
+        n, columns = self._column_values(configs)
+        arr = np.empty((n, len(self._params)), dtype=float)
+        for j, (p, col) in enumerate(zip(self._params, columns)):
+            if isinstance(p, (RealParameter, IntegerParameter)):
+                arr[:, j] = np.asarray(col, dtype=float)
+            else:
+                arr[:, j] = p.indices_vec(col)
+        return arr
+
+    # --------------------------------------- reference (scalar) encodings
+    # The pre-columnar per-element implementations, kept as the ground truth
+    # for the property-based equivalence tests and for benchmarks that need to
+    # reconstruct the pre-vectorisation cost profile.  Semantics match the
+    # vectorised codecs (including the log clip fix in to_numeric_array) up to
+    # ≤1-ulp differences between math.log/exp and np.log/exp.
+
+    def to_unit_array_loop(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Reference scalar implementation of :meth:`to_unit_array`."""
+        arr = np.empty((len(configs), len(self._params)), dtype=float)
+        for i, config in enumerate(configs):
+            for j, p in enumerate(self._params):
+                arr[i, j] = p.to_unit(config[p.name])
+        return arr
+
+    def from_unit_array_loop(self, arr: np.ndarray) -> List[Configuration]:
+        """Reference scalar implementation of :meth:`from_unit_array`."""
+        arr = np.atleast_2d(np.asarray(arr, dtype=float))
+        if arr.shape[1] != len(self._params):
+            raise ValueError(
+                f"expected {len(self._params)} columns, got {arr.shape[1]}"
+            )
+        configs = []
+        for row in arr:
+            configs.append(
+                {p.name: p.from_unit(float(u)) for p, u in zip(self._params, row)}
+            )
+        return configs
+
+    def to_numeric_array_loop(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Reference scalar implementation of :meth:`to_numeric_array`."""
+        arr = np.empty((len(configs), len(self._params)), dtype=float)
+        for i, config in enumerate(configs):
+            for j, p in enumerate(self._params):
+                value = config[p.name]
+                if isinstance(p, (RealParameter, IntegerParameter)):
+                    v = float(value)
+                    arr[i, j] = math.log(max(v, p.low)) if p.log else v
+                else:
+                    arr[i, j] = float(p.index_of(value))
+        return arr
+
+    def to_one_hot_array_loop(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Reference scalar implementation of :meth:`to_one_hot_array`."""
         arr = np.zeros((len(configs), self.one_hot_dimension()), dtype=float)
         for i, config in enumerate(configs):
             col = 0
@@ -611,4 +953,7 @@ class JointPriorLike:
     """Structural protocol for joint priors (see :mod:`repro.core.priors`)."""
 
     def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        raise NotImplementedError
+
+    def sample_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
         raise NotImplementedError

@@ -21,13 +21,19 @@ consistent.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.history import SearchHistory
-from repro.core.priors import IndependentPrior, JointPrior, default_prior
-from repro.core.space import Configuration, SearchSpace
+from repro.core.priors import IndependentPrior, JointPrior, _concat_shuffle_columns, default_prior
+from repro.core.space import (
+    ColumnBatch,
+    Configuration,
+    IntegerParameter,
+    RealParameter,
+    SearchSpace,
+)
 from repro.core.vae.transforms import TabularTransform
 from repro.core.vae.tvae import TabularVAE
 
@@ -79,48 +85,60 @@ class TransferLearningPrior(JointPrior):
         }
 
     # --------------------------------------------------------------- sampling
+    def sample_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Sample ``n`` configurations as per-parameter columns (hot path).
+
+        The VAE decodes whole columns, new parameters are drawn as columns
+        from their uninformative priors, and the informative/uniform parts are
+        mixed with a single shared permutation — no intermediate Python dicts.
+        """
+        if n <= 0:
+            return {p.name: np.empty(0, dtype=object) for p in self.space}
+        n_uniform = int(rng.binomial(n, self.uniform_fraction)) if self.uniform_fraction else 0
+        n_informed = n - n_uniform
+        parts: List[Dict[str, np.ndarray]] = []
+        if n_informed > 0:
+            parts.append(self._sample_informed_columns(n_informed, rng))
+        if n_uniform > 0:
+            parts.append(self._uninformative.sample_columns(n_uniform, rng))
+        permutation = rng.permutation(n)
+        return _concat_shuffle_columns(self.space, parts, permutation)
+
     def sample_configurations(self, n: int, rng: np.random.Generator) -> List[Configuration]:
         if n <= 0:
             return []
-        n_uniform = int(rng.binomial(n, self.uniform_fraction)) if self.uniform_fraction else 0
-        n_informed = n - n_uniform
-        configs: List[Configuration] = []
-        if n_informed > 0:
-            configs.extend(self._sample_informed(n_informed, rng))
-        if n_uniform > 0:
-            configs.extend(self._uninformative.sample_configurations(n_uniform, rng))
-        rng.shuffle(configs)
-        return configs
+        return ColumnBatch(self.space, self.sample_columns(n, rng)).to_configurations()
 
-    def _sample_informed(self, n: int, rng: np.random.Generator) -> List[Configuration]:
-        shared = self._sample_shared(n, rng)
-        new_values = {
-            name: prior.sample(n, rng) for name, prior in self._new_priors.items()
-        }
-        configs: List[Configuration] = []
-        for i in range(n):
-            config = dict(shared[i])
-            for name in self.new_parameters:
-                config[name] = new_values[name][i]
-            configs.append(self.space.clip(config))
-        return configs
+    def _sample_informed_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        columns = dict(self._sample_shared_columns(n, rng))
+        for name, prior in self._new_priors.items():
+            columns[name] = prior.sample_array(n, rng)
+        # Shared columns are decoded with the *target* space's parameter
+        # definitions and new columns come from in-domain priors, so values
+        # are already legal; numeric columns are still clipped as a cheap
+        # safety net against bound drift between campaigns.
+        for p in self.space:
+            if isinstance(p, (RealParameter, IntegerParameter)):
+                columns[p.name] = np.clip(columns[p.name], p.low, p.high)
+        return columns
 
-    def _sample_shared(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+    def _sample_shared_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
         """Sample the shared-parameter part (VAE if available, else resample Q_p)."""
         if self.vae is not None and self.vae.fitted:
             rows = self.vae.sample(n, rng)
-            return self.transform.decode(rows, rng=rng, sample_categories=True)
+            return self.transform.decode_columns(rows, rng=rng, sample_categories=True).columns
+        names = [c.parameter.name for c in self.transform.columns]
         # Fallback (tiny Q_p): resample the top configurations directly.
         if self.top_configurations:
             picks = rng.integers(0, len(self.top_configurations), size=n)
-            names = [c.parameter.name for c in self.transform.columns]
-            return [
-                {name: self.top_configurations[int(i)][name] for name in names}
-                for i in picks
-            ]
+            sub = SearchSpace([c.parameter for c in self.transform.columns])
+            tops = ColumnBatch.from_configurations(
+                sub, [{name: c[name] for name in names} for c in self.top_configurations]
+            )
+            return tops.take(picks).columns
         # Last resort: uninformative sampling of the shared subspace.
         sub = SearchSpace([c.parameter for c in self.transform.columns])
-        return IndependentPrior(sub).sample_configurations(n, rng)
+        return IndependentPrior(sub).sample_columns(n, rng)
 
     # ------------------------------------------------------------- inspection
     @property

@@ -151,3 +151,49 @@ class TestSearchHistory:
             history.record({"x": 1 + i % 99, "flag": False}, rt, float(i), float(i + 1))
         values = [v for _, v in history.incumbent_trajectory()]
         assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestDerivedArrayCaches:
+    def make_history(self):
+        history = SearchHistory(space())
+        for i, rt in enumerate((30.0, 12.0, float("nan"), 45.0)):
+            history.record({"x": 1 + i, "flag": False}, rt, float(i), float(i + 1))
+        return history
+
+    def test_objectives_cached_until_append(self):
+        history = self.make_history()
+        first = history.objectives()
+        assert history.objectives() is first  # same cached array
+        history.record({"x": 50, "flag": True}, 20.0, 10.0, 11.0)
+        second = history.objectives()
+        assert second is not first
+        assert second.shape == (5,)
+
+    def test_runtimes_cached_and_invalidated(self):
+        history = self.make_history()
+        first = history.runtimes()
+        assert history.runtimes() is first
+        history.extend(
+            [Evaluation({"x": 9, "flag": False}, -1.0, 2.0, 0.0, 1.0, eval_id=4)]
+        )
+        assert history.runtimes() is not first
+        assert history.runtimes().shape == (5,)
+
+    def test_cached_arrays_are_read_only(self):
+        history = self.make_history()
+        arr = history.objectives()
+        with pytest.raises(ValueError):
+            arr[0] = 0.0
+
+    def test_cached_values_match_evaluations(self):
+        history = self.make_history()
+        expected = [ev.runtime for ev in history]
+        got = history.runtimes()
+        for a, b in zip(got, expected):
+            assert (a == b) or (math.isnan(a) and math.isnan(b))
+
+    def test_best_runtime_at_uses_completion_times(self):
+        history = self.make_history()
+        assert history.best_runtime_at(-1.0) == float("inf")
+        assert history.best_runtime_at(1.5) == pytest.approx(30.0)
+        assert history.best_runtime_at(10.0) == pytest.approx(12.0)

@@ -85,7 +85,7 @@ class TestAskTell:
         rng = np.random.default_rng(1)
         opt = BayesianOptimizer(space, n_initial_points=8, num_candidates=256, seed=1)
         best = -np.inf
-        for _ in range(12):
+        for _ in range(16):
             batch = opt.ask(4)
             objectives = [quadratic_objective(c) for c in batch]
             best = max(best, max(objectives))
