@@ -9,17 +9,25 @@ and GP surrogates with the paper-scale 512-candidate ask.
 Two code paths are compared at each history size:
 
 * ``columnar`` — the current pipeline: columnar candidate sampling, vectorised
-  encodings, raw-value dedup keys, the incremental encoded-history cache, and
-  the level-wise random-forest builder.
+  encodings, raw-value dedup keys, the incremental encoded-history cache, the
+  level-wise random-forest builder, and (for GP) the rank-1 incremental
+  Cholesky update in ``tell``.
 * ``legacy`` — a faithful emulation of the pre-columnar code path:
   row-major (dict) candidate sampling, per-element ``*_loop`` encoders,
   ``repr``-tuple dedup keys computed per candidate per ask, full-history
-  re-encoding on every interaction, and the recursive random-forest builder.
+  re-encoding on every interaction, the recursive random-forest builder, and
+  a from-scratch O(n³) GP refit on every tell.
+
+A second section benchmarks the columnar :class:`~repro.core.history.SearchHistory`
+itself — append plus the derived aggregations (objectives, incumbent
+trajectory, top-quantile selection, a 120-point time-grid resolution) —
+against a row-major reference implementation looping over ``Evaluation``
+records.
 
 Results are written to ``BENCH_ask_tell.json`` (repo root by default) so
-future PRs can track the trajectory.  The acceptance bar for the columnar PR
-is a ≥5× reduction of the mean ask+tell wall-clock at history size 1000 with
-the RF surrogate.
+future PRs can track the trajectory.  Acceptance bars: ≥5× mean ask+tell
+reduction at history size 1000 with RF (the columnar PR), and ≥3× mean tell
+reduction at history size 1000 with GP (the incremental-Cholesky PR).
 
 Run with::
 
@@ -39,9 +47,11 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))  # for `common` when run directly
 
+from repro.core.history import SearchHistory
+from repro.core.history_reference import RowHistoryReference
 from repro.core.optimizer import BayesianOptimizer
 from repro.core.space import SearchSpace
-from repro.core.surrogate import RandomForestSurrogate
+from repro.core.surrogate import GaussianProcessSurrogate, RandomForestSurrogate
 from repro.hep import HEPWorkflowProblem
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -150,6 +160,7 @@ class LegacyPathOptimizer(BayesianOptimizer):
 
 def _make_optimizer(path: str, surrogate: str, space: SearchSpace, seed: int):
     if path == "columnar":
+        # "GP" resolves to the incremental (rank-1 Cholesky) GP by default.
         model = RandomForestSurrogate(seed=seed) if surrogate == "RF" else "GP"
         return BayesianOptimizer(
             space,
@@ -162,7 +173,7 @@ def _make_optimizer(path: str, surrogate: str, space: SearchSpace, seed: int):
     model = (
         RandomForestSurrogate(seed=seed, fit_algorithm="recursive")
         if surrogate == "RF"
-        else "GP"
+        else GaussianProcessSurrogate(incremental=False)
     )
     return LegacyPathOptimizer(
         space,
@@ -204,6 +215,44 @@ def measure(
     }
 
 
+def measure_history(history_size: int, space: SearchSpace, seed: int = 0) -> Dict[str, object]:
+    """Append + aggregation wall-clock of the columnar history vs the row loop."""
+    rng = np.random.default_rng(seed)
+    configs = space.sample(history_size, rng)
+    runtimes = np.exp(rng.normal(4.0, 0.5, size=history_size))
+    runtimes[rng.random(history_size) < 0.05] = float("nan")
+    grid = np.linspace(0.0, float(history_size), 120)
+
+    def workload(history, vectorized: bool) -> Dict[str, float]:
+        timings = {}
+        start = time.perf_counter()
+        for i, (config, rt) in enumerate(zip(configs, runtimes)):
+            history.record(config, rt, float(i), float(i + 1), worker=i % 8)
+        timings["append_s"] = time.perf_counter() - start
+        start = time.perf_counter()
+        history.objectives()
+        history.incumbent_trajectory()
+        history.top_quantile(0.10)
+        if vectorized:
+            history.incumbent_at(grid)
+        else:
+            for t in grid:
+                history.best_runtime_at(t)
+        timings["aggregate_s"] = time.perf_counter() - start
+        timings["total_s"] = timings["append_s"] + timings["aggregate_s"]
+        return timings
+
+    columnar = workload(SearchHistory(space), vectorized=True)
+    legacy = workload(RowHistoryReference(space), vectorized=False)
+    return {
+        "history_size": history_size,
+        "columnar": columnar,
+        "legacy": legacy,
+        "speedup_total": legacy["total_s"] / max(columnar["total_s"], 1e-12),
+        "speedup_aggregate": legacy["aggregate_s"] / max(columnar["aggregate_s"], 1e-12),
+    }
+
+
 def run_benchmark(history_sizes=HISTORY_SIZES, iterations: int = 5, output: Path = DEFAULT_OUTPUT):
     problem = HEPWorkflowProblem.from_setup(SETUP, seed=1)
     space = problem.space
@@ -216,6 +265,9 @@ def run_benchmark(history_sizes=HISTORY_SIZES, iterations: int = 5, output: Path
             entry["speedup_ask"] = entry["legacy"]["ask_mean_s"] / max(
                 entry["columnar"]["ask_mean_s"], 1e-12
             )
+            entry["speedup_tell"] = entry["legacy"]["tell_mean_s"] / max(
+                entry["columnar"]["tell_mean_s"], 1e-12
+            )
             entry["speedup_ask_tell"] = entry["legacy"]["ask_tell_mean_s"] / max(
                 entry["columnar"]["ask_tell_mean_s"], 1e-12
             )
@@ -224,14 +276,35 @@ def run_benchmark(history_sizes=HISTORY_SIZES, iterations: int = 5, output: Path
                 f"{surrogate:3s} N={history_size:5d}  "
                 f"columnar {entry['columnar']['ask_tell_mean_s']*1e3:8.2f} ms  "
                 f"legacy {entry['legacy']['ask_tell_mean_s']*1e3:8.2f} ms  "
-                f"speedup {entry['speedup_ask_tell']:5.2f}x (ask alone {entry['speedup_ask']:5.2f}x)"
+                f"speedup {entry['speedup_ask_tell']:5.2f}x "
+                f"(ask alone {entry['speedup_ask']:5.2f}x, tell alone {entry['speedup_tell']:5.2f}x)"
             )
+
+    history_results = []
+    for history_size in history_sizes:
+        hist_entry = measure_history(history_size, space)
+        history_results.append(hist_entry)
+        print(
+            f"history N={history_size:5d}  "
+            f"columnar {hist_entry['columnar']['total_s']*1e3:8.2f} ms  "
+            f"legacy {hist_entry['legacy']['total_s']*1e3:8.2f} ms  "
+            f"speedup {hist_entry['speedup_total']:5.2f}x "
+            f"(aggregations alone {hist_entry['speedup_aggregate']:5.2f}x)"
+        )
 
     target = next(
         (
             e
             for e in results
             if e["surrogate"] == "RF" and e["history_size"] == max(history_sizes)
+        ),
+        None,
+    )
+    gp_target = next(
+        (
+            e
+            for e in results
+            if e["surrogate"] == "GP" and e["history_size"] == max(history_sizes)
         ),
         None,
     )
@@ -246,15 +319,24 @@ def run_benchmark(history_sizes=HISTORY_SIZES, iterations: int = 5, output: Path
             "Mean real wall-clock of one optimizer interaction (ask a batch of "
             f"{BATCH_SIZE} + tell the results, surrogate refit every tell) at a "
             "fixed history size. 'columnar' is the current pipeline (vectorised "
-            "codecs, incremental encoded-history cache, level-wise RF); 'legacy' "
-            "emulates the pre-columnar path (dict candidates, per-element "
-            "encoders, repr keys, full re-encoding, recursive RF)."
+            "codecs, incremental encoded-history cache, level-wise RF, rank-1 "
+            "incremental GP Cholesky); 'legacy' emulates the pre-columnar path "
+            "(dict candidates, per-element encoders, repr keys, full "
+            "re-encoding, recursive RF, from-scratch GP refit). The 'history' "
+            "section benchmarks the columnar SearchHistory (append + derived "
+            "aggregations) against a row-major reference."
         ),
         "results": results,
+        "history": history_results,
         "acceptance": {
             "criterion": f"speedup_ask_tell >= 5.0 at history_size={max(history_sizes)} with RF",
             "speedup_ask_tell": target["speedup_ask_tell"] if target else None,
             "passed": bool(target and target["speedup_ask_tell"] >= 5.0),
+        },
+        "acceptance_gp_incremental": {
+            "criterion": f"speedup_tell >= 3.0 at history_size={max(history_sizes)} with GP",
+            "speedup_tell": gp_target["speedup_tell"] if gp_target else None,
+            "passed": bool(gp_target and gp_target["speedup_tell"] >= 3.0),
         },
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -264,6 +346,12 @@ def run_benchmark(history_sizes=HISTORY_SIZES, iterations: int = 5, output: Path
         print(
             f"acceptance ({payload['acceptance']['criterion']}): "
             f"{target['speedup_ask_tell']:.2f}x -> {status}"
+        )
+    if gp_target:
+        status = "PASS" if payload["acceptance_gp_incremental"]["passed"] else "FAIL"
+        print(
+            f"acceptance ({payload['acceptance_gp_incremental']['criterion']}): "
+            f"{gp_target['speedup_tell']:.2f}x -> {status}"
         )
     return payload
 

@@ -16,7 +16,6 @@ error bars.  This module provides:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -121,15 +120,17 @@ def aggregate_trajectories(
     Returns a dict with keys ``time``, ``mean``, ``min``, ``max``; times before
     a repetition's first successful evaluation contribute NaN (ignored by the
     nan-aware aggregation).
+
+    Each repetition's curve is resolved in one vectorised
+    :meth:`~repro.core.history.SearchHistory.incumbent_at` call over the whole
+    grid (a ``searchsorted`` against the incumbent trajectory) instead of one
+    linear history scan per grid point.
     """
     grid = np.linspace(0.0, max_time, num_points)
     curves = []
     for result in results:
-        values = []
-        for t in grid:
-            best = result.history.best_runtime_at(t)
-            values.append(best if math.isfinite(best) else np.nan)
-        curves.append(values)
+        values = result.history.incumbent_at(grid)
+        curves.append(np.where(np.isfinite(values), values, np.nan))
     arr = np.asarray(curves, dtype=float)
     with np.errstate(all="ignore"):
         return {

@@ -98,7 +98,12 @@ def load_campaign(directory: Union[str, Path], space: SearchSpace) -> CampaignRe
                 worker_utilization=float(entry.get("worker_utilization", float("nan"))),
                 search_time=float(manifest["max_time"]),
                 num_workers=int(manifest["num_workers"]),
-                busy_intervals=[(ev.submitted, ev.completed) for ev in history],
+                busy_intervals=list(
+                    zip(
+                        history.submitted_times().tolist(),
+                        history.completed_times().tolist(),
+                    )
+                ),
             )
         )
     return campaign

@@ -78,21 +78,15 @@ def mean_best_runtime(obj: HistoryLike, max_time: float) -> float:
     trajectory = _history(obj).incumbent_trajectory()
     if not trajectory:
         return float("nan")
-    total = 0.0
-    # Constant extension of the first incumbent back to t = 0.
-    first_time, first_value = trajectory[0]
-    previous_time, previous_value = 0.0, first_value
-    for t, value in trajectory:
-        t_clipped = min(t, max_time)
-        if t_clipped > previous_time:
-            total += previous_value * (t_clipped - previous_time)
-            previous_time = t_clipped
-        previous_value = value
-        if t >= max_time:
-            break
-    if previous_time < max_time:
-        total += previous_value * (max_time - previous_time)
-    return total / max_time
+    times = np.asarray([t for t, _ in trajectory], dtype=float)
+    values = np.asarray([v for _, v in trajectory], dtype=float)
+    # Integrate the incumbent step function over [0, max_time]: segment i
+    # carries values[i-1] (with the first incumbent extended back to t = 0)
+    # between consecutive clipped improvement times.
+    edges = np.concatenate(([0.0], np.minimum(times, max_time), [max_time]))
+    weights = np.concatenate(([values[0]], values))
+    widths = np.maximum(np.diff(edges), 0.0)
+    return float(np.dot(weights, widths) / max_time)
 
 
 def time_to_reach(obj: HistoryLike, target_runtime: float) -> float:
@@ -100,10 +94,14 @@ def time_to_reach(obj: HistoryLike, target_runtime: float) -> float:
 
     Returns ``inf`` when the target is never reached.
     """
-    for t, value in _history(obj).incumbent_trajectory():
-        if value < target_runtime:
-            return t
-    return float("inf")
+    trajectory = _history(obj).incumbent_trajectory()
+    if not trajectory:
+        return float("inf")
+    values = np.asarray([v for _, v in trajectory], dtype=float)
+    below = np.flatnonzero(values < target_runtime)
+    if below.size == 0:
+        return float("inf")
+    return trajectory[int(below[0])][0]
 
 
 def search_speedup(

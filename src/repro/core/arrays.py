@@ -1,0 +1,32 @@
+"""Shared append-only NumPy buffer utilities.
+
+The columnar hot paths (the optimizer's encoded-history cache, the columnar
+:class:`~repro.core.history.SearchHistory`, the GP's incremental training-set
+buffers) all append rows into capacity-doubling arrays.  This module holds
+the one growth routine they share so the doubling invariant lives in a single
+place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["grow_buffer"]
+
+
+def grow_buffer(buf: np.ndarray, needed: int, min_capacity: int = 64) -> np.ndarray:
+    """Return ``buf`` or an enlarged copy able to hold ``needed`` rows.
+
+    Growth doubles the leading dimension (starting at ``min_capacity``) until
+    it fits, copying the existing rows; trailing dimensions and dtype are
+    preserved.  Rows beyond the copied region are uninitialised — callers
+    track their own fill count.
+    """
+    if needed <= buf.shape[0]:
+        return buf
+    capacity = max(min_capacity, 2 * buf.shape[0])
+    while capacity < needed:
+        capacity *= 2
+    grown = np.empty((capacity,) + buf.shape[1:], dtype=buf.dtype)
+    grown[: buf.shape[0]] = buf
+    return grown

@@ -5,14 +5,30 @@ figures are all computed from per-evaluation CSV files (timestamps, the
 evaluated configuration, the measured objective), and transfer learning
 consumes the history of a *previous* run (Algorithm 1's ``H_p``).
 
-:class:`SearchHistory` therefore supports:
+Storage is **columnar** (structure of arrays): the per-evaluation metadata
+(objective, runtime, submitted, completed, worker, eval_id) lives in
+append-only NumPy buffers and every parameter of the owning
+:class:`~repro.core.space.SearchSpace` has its own value column.  Row-major
+:class:`Evaluation` views are materialised lazily, so the public API is
+unchanged — ``history[i]``, iteration, :attr:`SearchHistory.evaluations`,
+:meth:`SearchHistory.successful` and the CSV round trip behave exactly as they
+did when the history stored a list of dataclasses — while every derived view
+(:meth:`SearchHistory.objectives`, :meth:`SearchHistory.incumbent_trajectory`,
+:meth:`SearchHistory.top_quantile`, :meth:`SearchHistory.best_runtime_at`) is
+a vectorised column operation.  At paper scale (1500+ evaluations per run ×
+repetitions × setups) this keeps the analysis layer and the transfer-learning
+``H_p`` ingestion linear-algebra-fast instead of Python-loop-slow.
+
+:class:`SearchHistory` supports:
 
 * appending :class:`Evaluation` records as the asynchronous search completes
   them,
 * the incumbent trajectory (best objective / run time as a function of search
   time) that Fig. 3 plots,
-* selection of the top-q% configurations used by the VAE transfer prior, and
-* CSV round-tripping compatible with a "one row per evaluation" layout.
+* selection of the top-q% configurations used by the VAE transfer prior (both
+  as dicts and as a columnar batch), and
+* CSV round-tripping compatible with a "one row per evaluation" layout, with
+  cell values parsed back against each parameter's declared type.
 """
 
 from __future__ import annotations
@@ -20,16 +36,31 @@ from __future__ import annotations
 import csv
 import io
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.arrays import grow_buffer as _grow
 from repro.core.objective import Objective
-from repro.core.space import Configuration, SearchSpace
+from repro.core.space import (
+    ColumnBatch,
+    Configuration,
+    IntegerParameter,
+    Parameter,
+    RealParameter,
+    SearchSpace,
+)
 
 __all__ = ["Evaluation", "SearchHistory"]
+
+
+#: Sentinel stored in a parameter column when an appended evaluation's
+#: configuration does not define that parameter (only possible with
+#: hand-constructed :class:`Evaluation` objects; the search loop always
+#: records complete configurations).
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -74,13 +105,13 @@ class Evaluation:
 
 
 class SearchHistory:
-    """An append-only record of evaluations plus derived views.
+    """An append-only columnar record of evaluations plus derived views.
 
     Parameters
     ----------
     space:
-        The search space the evaluations belong to (used for CSV round trips
-        and transfer learning).
+        The search space the evaluations belong to (defines the parameter
+        columns, the CSV layout and the transfer-learning interface).
     objective:
         The objective transform (used to convert between objective and
         run-time space).
@@ -89,31 +120,102 @@ class SearchHistory:
     def __init__(self, space: SearchSpace, objective: Optional[Objective] = None):
         self.space = space
         self.objective = objective or Objective()
-        self._evaluations: List[Evaluation] = []
+        self._n = 0
+        self._capacity = 0
+        # Metadata columns (append-only, capacity-doubling).
+        self._objective_buf = np.empty(0, dtype=float)
+        self._runtime_buf = np.empty(0, dtype=float)
+        self._submitted_buf = np.empty(0, dtype=float)
+        self._completed_buf = np.empty(0, dtype=float)
+        self._worker_buf = np.empty(0, dtype=np.int64)
+        self._eval_id_buf = np.empty(0, dtype=np.int64)
+        # One value column per parameter.  Object dtype keeps the exact Python
+        # values appended (ints stay ints, bools stay bools, category strings
+        # stay strings), so lazily materialised Evaluation views and the CSV
+        # text are bit-compatible with the former row-major storage.
+        self._param_bufs: Dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=object) for name in space.parameter_names
+        }
+        # Rare escape hatch for hand-built evaluations whose configuration has
+        # extra keys (row index -> extra mapping) or missing parameters.
+        self._extras: Dict[int, Dict[str, Any]] = {}
+        self._incomplete_rows = False
         # Derived-array caches, invalidated on every append.  The search loop
         # and the analysis layer call objectives()/runtimes() once per
-        # completion batch, so rebuilding them from scratch each time would
-        # reintroduce the linear-per-iteration cost the columnar pipeline
-        # removes elsewhere.
+        # completion batch; the cached copies are detached from the buffers so
+        # arrays handed out earlier never change under the caller.
         self._objectives_cache: Optional[np.ndarray] = None
         self._runtimes_cache: Optional[np.ndarray] = None
+        self._completed_cache: Optional[np.ndarray] = None
+        self._submitted_cache: Optional[np.ndarray] = None
 
     # ---------------------------------------------------------------- dunders
     def __len__(self) -> int:
-        return len(self._evaluations)
+        return self._n
 
     def __iter__(self) -> Iterator[Evaluation]:
-        return iter(self._evaluations)
+        for i in range(self._n):
+            yield self._materialize(i)
 
-    def __getitem__(self, idx: int) -> Evaluation:
-        return self._evaluations[idx]
+    def __getitem__(self, idx: Union[int, slice]) -> Union[Evaluation, List[Evaluation]]:
+        n = self._n
+        if isinstance(idx, slice):
+            return [self._materialize(i) for i in range(*idx.indices(n))]
+        idx = int(idx)
+        if idx < 0:
+            idx += n
+        if not (0 <= idx < n):
+            raise IndexError("evaluation index out of range")
+        return self._materialize(idx)
 
     # --------------------------------------------------------------- mutation
+    def _ensure_row_capacity(self, needed: int) -> None:
+        """Grow every column buffer at once (a single capacity governs all)."""
+        if needed <= self._capacity:
+            return
+        self._objective_buf = _grow(self._objective_buf, needed)
+        self._runtime_buf = _grow(self._runtime_buf, needed)
+        self._submitted_buf = _grow(self._submitted_buf, needed)
+        self._completed_buf = _grow(self._completed_buf, needed)
+        self._worker_buf = _grow(self._worker_buf, needed)
+        self._eval_id_buf = _grow(self._eval_id_buf, needed)
+        for name in self._param_bufs:
+            self._param_bufs[name] = _grow(self._param_bufs[name], needed)
+        self._capacity = self._objective_buf.shape[0]
+
     def append(self, evaluation: Evaluation) -> None:
-        """Append one completed evaluation."""
-        self._evaluations.append(evaluation)
+        """Append one completed evaluation (decomposed into the columns)."""
+        i = self._n
+        self._ensure_row_capacity(i + 1)
+        self._objective_buf[i] = float(evaluation.objective)
+        self._runtime_buf[i] = float(evaluation.runtime)
+        self._submitted_buf[i] = float(evaluation.submitted)
+        self._completed_buf[i] = float(evaluation.completed)
+        self._worker_buf[i] = int(evaluation.worker)
+        self._eval_id_buf[i] = int(evaluation.eval_id)
+
+        config = evaluation.configuration
+        matched = 0
+        for name, buf in self._param_bufs.items():
+            if name in config:
+                buf[i] = config[name]
+                matched += 1
+            else:
+                buf[i] = _MISSING
+                # Only genuinely missing parameters force the columnar
+                # top-quantile batch onto the per-dict fallback; extra keys
+                # leave every parameter column complete.
+                self._incomplete_rows = True
+        if matched != len(config):
+            self._extras[i] = {
+                k: v for k, v in config.items() if k not in self._param_bufs
+            }
+
+        self._n = i + 1
         self._objectives_cache = None
         self._runtimes_cache = None
+        self._completed_cache = None
+        self._submitted_cache = None
 
     def extend(self, evaluations: Iterable[Evaluation]) -> None:
         """Append several completed evaluations."""
@@ -136,62 +238,154 @@ class SearchHistory:
             submitted=float(submitted),
             completed=float(completed),
             worker=int(worker),
-            eval_id=len(self._evaluations),
+            eval_id=self._n,
         )
         self.append(evaluation)
         return evaluation
+
+    # -------------------------------------------------------- materialisation
+    def _config_at(self, i: int) -> Configuration:
+        """Materialise row ``i``'s configuration as a plain dict."""
+        config: Configuration = {}
+        for name, buf in self._param_bufs.items():
+            value = buf[i]
+            if value is _MISSING:
+                continue
+            config[name] = value
+        if self._extras:
+            extras = self._extras.get(i)
+            if extras:
+                config.update(extras)
+        return config
+
+    def _materialize(self, i: int) -> Evaluation:
+        """Materialise row ``i`` as an :class:`Evaluation` view."""
+        return Evaluation(
+            configuration=self._config_at(i),
+            objective=float(self._objective_buf[i]),
+            runtime=float(self._runtime_buf[i]),
+            submitted=float(self._submitted_buf[i]),
+            completed=float(self._completed_buf[i]),
+            worker=int(self._worker_buf[i]),
+            eval_id=int(self._eval_id_buf[i]),
+        )
 
     # ------------------------------------------------------------------ views
     @property
     def evaluations(self) -> Tuple[Evaluation, ...]:
         """All evaluations, in completion order of insertion."""
-        return tuple(self._evaluations)
+        return tuple(self._materialize(i) for i in range(self._n))
 
     def successful(self) -> List[Evaluation]:
         """Evaluations with a finite objective."""
-        return [ev for ev in self._evaluations if not ev.failed]
+        finite = np.isfinite(self._objective_buf[: self._n])
+        return [self._materialize(int(i)) for i in np.flatnonzero(finite)]
 
     def num_failures(self) -> int:
         """Number of failed (NaN) evaluations."""
-        return sum(1 for ev in self._evaluations if ev.failed)
+        return int(np.count_nonzero(~np.isfinite(self._objective_buf[: self._n])))
 
     def configurations(self) -> List[Configuration]:
         """All evaluated configurations."""
-        return [ev.configuration for ev in self._evaluations]
+        return [self._config_at(i) for i in range(self._n)]
+
+    def _meta_column(self, cache_name: str, buf: np.ndarray) -> np.ndarray:
+        cached = getattr(self, cache_name)
+        if cached is None:
+            cached = buf[: self._n].copy()
+            cached.setflags(write=False)
+            setattr(self, cache_name, cached)
+        return cached
 
     def objectives(self) -> np.ndarray:
         """Objective values as an array (NaN for failures).
 
         The array is cached until the next append and returned read-only.
         """
-        if self._objectives_cache is None:
-            arr = np.asarray([ev.objective for ev in self._evaluations], dtype=float)
-            arr.setflags(write=False)
-            self._objectives_cache = arr
-        return self._objectives_cache
+        return self._meta_column("_objectives_cache", self._objective_buf)
 
     def runtimes(self) -> np.ndarray:
         """Measured run times as an array (NaN for failures).
 
         The array is cached until the next append and returned read-only.
         """
-        if self._runtimes_cache is None:
-            arr = np.asarray([ev.runtime for ev in self._evaluations], dtype=float)
-            arr.setflags(write=False)
-            self._runtimes_cache = arr
-        return self._runtimes_cache
+        return self._meta_column("_runtimes_cache", self._runtime_buf)
+
+    def submitted_times(self) -> np.ndarray:
+        """Submission times as an array (cached, read-only)."""
+        return self._meta_column("_submitted_cache", self._submitted_buf)
+
+    def completed_times(self) -> np.ndarray:
+        """Completion times as an array (cached, read-only)."""
+        return self._meta_column("_completed_cache", self._completed_buf)
+
+    def workers(self) -> np.ndarray:
+        """Worker identifiers as an array."""
+        return self._worker_buf[: self._n].copy()
+
+    def eval_ids(self) -> np.ndarray:
+        """Evaluation identifiers as an array."""
+        return self._eval_id_buf[: self._n].copy()
+
+    def parameter_column(self, name: str) -> np.ndarray:
+        """The raw value column of parameter ``name`` (a copy, object dtype)."""
+        if name not in self._param_bufs:
+            raise KeyError(f"unknown parameter {name!r}")
+        return self._param_bufs[name][: self._n].copy()
+
+    @property
+    def has_incomplete_rows(self) -> bool:
+        """Whether any appended evaluation lacked one of the space's parameters.
+
+        Complete histories (everything the search loop or ``from_csv``
+        produces) keep this False; consumers like the transfer-learning
+        selection use it to decide between the columnar fast path and a
+        row-tolerant fallback.
+        """
+        return self._incomplete_rows
 
     def best(self) -> Optional[Evaluation]:
         """The evaluation with the highest objective (None if all failed)."""
-        candidates = self.successful()
-        if not candidates:
+        obj = self._objective_buf[: self._n]
+        finite = np.flatnonzero(np.isfinite(obj))
+        if finite.size == 0:
             return None
-        return max(candidates, key=lambda ev: ev.objective)
+        # argmax returns the first maximum, matching max() over insertion order.
+        return self._materialize(int(finite[np.argmax(obj[finite])]))
 
     def best_runtime(self) -> float:
         """Run time of the best configuration found (NaN if none succeeded)."""
         best = self.best()
         return best.runtime if best is not None else float("nan")
+
+    def _trajectory_arrays(self, require_objective: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Incumbent (completion_time, best_runtime) points as arrays.
+
+        ``require_objective`` selects which evaluations count: the incumbent
+        trajectory skips *failed* evaluations (non-finite objective, even when
+        a finite runtime was recorded — e.g. ``runtime=0``), whereas
+        :meth:`best_runtime_at` historically considered every finite runtime.
+        """
+        n = self._n
+        if n == 0:
+            return np.empty(0), np.empty(0)
+        completed = self._completed_buf[:n]
+        runtimes = self._runtime_buf[:n]
+        # Stable sort matches sorted(..., key=completed) on ties.
+        order = np.argsort(completed, kind="stable")
+        rt = runtimes[order]
+        ct = completed[order]
+        ok = np.isfinite(rt)
+        if require_objective:
+            ok &= np.isfinite(self._objective_buf[:n][order])
+        rt, ct = rt[ok], ct[ok]
+        if rt.size == 0:
+            return np.empty(0), np.empty(0)
+        running = np.minimum.accumulate(rt)
+        keep = np.empty(rt.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = running[1:] < running[:-1]
+        return ct[keep], running[keep]
 
     def incumbent_trajectory(self) -> List[Tuple[float, float]]:
         """Best run time as a function of search time.
@@ -200,28 +394,47 @@ class SearchHistory:
         one per successful evaluation that improved the incumbent — the series
         plotted in Fig. 3.
         """
-        points: List[Tuple[float, float]] = []
-        best = float("inf")
-        for ev in sorted(self._evaluations, key=lambda e: e.completed):
-            if ev.failed:
-                continue
-            if ev.runtime < best:
-                best = ev.runtime
-                points.append((ev.completed, best))
-        return points
+        times, values = self._trajectory_arrays(require_objective=True)
+        return list(zip(times.tolist(), values.tolist()))
+
+    def incumbent_at(self, times: Union[float, np.ndarray]) -> np.ndarray:
+        """Best run time known at each of ``times`` (vectorised).
+
+        Entries before the first finite runtime are ``inf``, matching
+        :meth:`best_runtime_at` (which considers every finite runtime, failed
+        or not); a whole time grid is resolved with one ``searchsorted``
+        instead of one linear scan per grid point.
+        """
+        grid = np.atleast_1d(np.asarray(times, dtype=float))
+        t, v = self._trajectory_arrays(require_objective=False)
+        if t.size == 0:
+            return np.full(grid.shape, float("inf"))
+        pos = np.searchsorted(t, grid, side="right") - 1
+        return np.where(pos >= 0, v[np.clip(pos, 0, None)], float("inf"))
 
     def best_runtime_at(self, time: float) -> float:
         """Best run time known at a given search time (inf if none yet)."""
-        if not self._evaluations:
+        if self._n == 0:
             return float("inf")
-        runtimes = self.runtimes()
-        completed = np.asarray([ev.completed for ev in self._evaluations], dtype=float)
-        known = np.isfinite(runtimes) & (completed <= time)
-        if not np.any(known):
-            return float("inf")
-        return float(np.min(runtimes[known]))
+        return float(self.incumbent_at(float(time))[0])
 
     # ------------------------------------------------------ transfer learning
+    def _top_quantile_indices(self, q: float) -> np.ndarray:
+        """Row indices of the top-``q`` fraction by objective (insertion order)."""
+        if not (0.0 < q <= 1.0):
+            raise ValueError("q must be in (0, 1]")
+        obj = self._objective_buf[: self._n]
+        finite = np.isfinite(obj)
+        if not finite.any():
+            return np.empty(0, dtype=np.intp)
+        threshold = np.quantile(obj[finite], 1.0 - q)
+        selected = np.flatnonzero(finite & (obj >= threshold))
+        if selected.size == 0:
+            # Always return at least one configuration (the best one).
+            finite_idx = np.flatnonzero(finite)
+            selected = finite_idx[[int(np.argmax(obj[finite_idx]))]]
+        return selected
+
     def top_quantile(self, q: float = 0.10) -> List[Configuration]:
         """Configurations in the top ``q`` fraction by objective (Algorithm 1, l.1).
 
@@ -230,18 +443,31 @@ class SearchHistory:
         q:
             Fraction of successful evaluations to keep, in (0, 1].
         """
-        if not (0.0 < q <= 1.0):
-            raise ValueError("q must be in (0, 1]")
-        ok = self.successful()
-        if not ok:
-            return []
-        objectives = np.asarray([ev.objective for ev in ok], dtype=float)
-        threshold = np.quantile(objectives, 1.0 - q)
-        selected = [ev.configuration for ev in ok if ev.objective >= threshold]
-        # Always return at least one configuration (the best one).
-        if not selected:
-            selected = [max(ok, key=lambda ev: ev.objective).configuration]
-        return selected
+        return [self._config_at(int(i)) for i in self._top_quantile_indices(q)]
+
+    def top_quantile_columns(self, q: float = 0.10) -> ColumnBatch:
+        """The top-``q`` configurations as a columnar batch (Algorithm 1, l.1).
+
+        This is the hot-path variant of :meth:`top_quantile` used by the
+        transfer-learning ``H_p`` ingestion: the selection happens on the
+        objective column and the parameter columns are fancy-indexed, without
+        materialising one dict per historical evaluation.  Falls back to the
+        dict path when the history contains incomplete rows, skipping rows
+        that do not define every parameter of the space.
+        """
+        idx = self._top_quantile_indices(q)
+        if self._incomplete_rows:
+            names = self.space.parameter_names
+            complete = [
+                config
+                for config in (self._config_at(int(i)) for i in idx)
+                if all(name in config for name in names)
+            ]
+            return ColumnBatch.from_configurations(self.space, complete)
+        return ColumnBatch(
+            self.space,
+            {name: buf[:self._n][idx] for name, buf in self._param_bufs.items()},
+        )
 
     # -------------------------------------------------------------------- csv
     CSV_META_COLUMNS = ("eval_id", "worker", "submitted", "completed", "runtime", "objective")
@@ -253,20 +479,30 @@ class SearchHistory:
         to that file.
         """
         buffer = io.StringIO()
-        fieldnames = list(self.CSV_META_COLUMNS) + list(self.space.parameter_names)
-        writer = csv.DictWriter(buffer, fieldnames=fieldnames)
-        writer.writeheader()
-        for ev in self._evaluations:
-            row = {
-                "eval_id": ev.eval_id,
-                "worker": ev.worker,
-                "submitted": f"{ev.submitted:.6f}",
-                "completed": f"{ev.completed:.6f}",
-                "runtime": f"{ev.runtime:.6f}" if math.isfinite(ev.runtime) else "nan",
-                "objective": f"{ev.objective:.6f}" if math.isfinite(ev.objective) else "nan",
-            }
-            for name in self.space.parameter_names:
-                row[name] = ev.configuration.get(name, "")
+        names = list(self.space.parameter_names)
+        fieldnames = list(self.CSV_META_COLUMNS) + names
+        writer = csv.writer(buffer)
+        writer.writerow(fieldnames)
+        n = self._n
+        # Column-wise formatting: each metadata column is formatted once, then
+        # rows are emitted by zipping the formatted columns together.
+        eval_ids = self._eval_id_buf[:n].tolist()
+        workers = self._worker_buf[:n].tolist()
+        submitted = [f"{t:.6f}" for t in self._submitted_buf[:n]]
+        completed = [f"{t:.6f}" for t in self._completed_buf[:n]]
+        runtimes = [
+            f"{t:.6f}" if math.isfinite(t) else "nan" for t in self._runtime_buf[:n]
+        ]
+        objectives = [
+            f"{t:.6f}" if math.isfinite(t) else "nan" for t in self._objective_buf[:n]
+        ]
+        value_columns = [
+            ["" if v is _MISSING else v for v in self._param_bufs[name][:n]]
+            for name in names
+        ]
+        for row in zip(
+            eval_ids, workers, submitted, completed, runtimes, objectives, *value_columns
+        ):
             writer.writerow(row)
         text = buffer.getvalue()
         if path is not None:
@@ -280,7 +516,13 @@ class SearchHistory:
         space: SearchSpace,
         objective: Optional[Objective] = None,
     ) -> "SearchHistory":
-        """Load a history from CSV text or a CSV file path."""
+        """Load a history from CSV text or a CSV file path.
+
+        Parameter cells are parsed against the owning parameter's declared
+        type (see :func:`_parse_typed`), so an integer parameter's ``"1e3"``
+        loads as ``1000`` and a *string* category ``"True"`` stays a string
+        instead of being guessed into a bool.
+        """
         text = source
         if isinstance(source, Path) or (
             isinstance(source, str) and "\n" not in source and Path(source).exists()
@@ -292,7 +534,7 @@ class SearchHistory:
             config = {}
             for param in space:
                 raw = row[param.name]
-                config[param.name] = _parse_value(raw)
+                config[param.name] = _parse_typed(raw, param)
             history.append(
                 Evaluation(
                     configuration=config,
@@ -307,8 +549,54 @@ class SearchHistory:
         return history
 
 
+def _parse_typed(raw: str, param: Parameter):
+    """Parse a CSV cell against the declared type of its parameter.
+
+    * real parameters parse as ``float``;
+    * integer parameters parse as ``int`` (scientific notation like ``"1e3"``
+      is accepted and rounded);
+    * categorical/ordinal parameters are matched against the string form of
+      their domain values, so a string category ``"True"`` is returned as the
+      string while a boolean category parses back to ``True``.
+
+    Cells that cannot be interpreted for the declared type fall back to the
+    legacy value-guessing parser (:func:`_parse_value`), which keeps CSVs
+    written by other tools loadable.
+    """
+    text = raw.strip()
+    if isinstance(param, RealParameter):
+        try:
+            return float(text)
+        except ValueError:
+            return _parse_value(raw)
+    if isinstance(param, IntegerParameter):
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return int(round(float(text)))
+            except (ValueError, OverflowError):
+                return _parse_value(raw)
+    domain = getattr(param, "_domain", None)
+    if domain is not None:
+        lookup = getattr(param, "_csv_lookup_cache", None)
+        if lookup is None:
+            lookup = {}
+            for value in domain:
+                lookup.setdefault(str(value), value)
+            param._csv_lookup_cache = lookup
+        if text in lookup:
+            return lookup[text]
+    return _parse_value(raw)
+
+
 def _parse_value(raw: str):
-    """Parse a CSV cell back into bool / int / float / str."""
+    """Parse a CSV cell back into bool / int / float / str (legacy fallback).
+
+    Kept for cells that do not match their parameter's declared domain (e.g.
+    CSVs produced outside this library); prefer :func:`_parse_typed`, which
+    never turns a string-typed ``"True"`` into a bool.
+    """
     text = raw.strip()
     if text in ("True", "False"):
         return text == "True"

@@ -20,7 +20,10 @@ neither ``tell`` nor ``ask`` ever re-encodes the full history (the pre-PR
 behaviour re-encoded all ``n`` observations on every interaction, making the
 Python-side overhead grow linearly per iteration).  Duplicate detection uses
 raw-value key rows (:meth:`~repro.core.space.SearchSpace.key_array`) hashed
-once per configuration instead of per-candidate ``repr`` tuples.
+once per configuration instead of per-candidate ``repr`` tuples.  Surrogates
+that advertise :attr:`~repro.core.surrogate.base.Surrogate.supports_partial_fit`
+(the GP's rank-1 Cholesky extension) are handed only the rows appended since
+the last fit instead of the whole training matrix.
 
 The optimizer measures the wall-clock time spent fitting the surrogate and
 generating candidates (:attr:`last_tell_duration`, :attr:`last_ask_duration`)
@@ -37,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.acquisition import DEFAULT_KAPPA, UCBAcquisition
+from repro.core.arrays import grow_buffer
 from repro.core.liar import ConstantLiar
 from repro.core.objective import Objective
 from repro.core.priors import IndependentPrior, JointPrior
@@ -172,6 +176,9 @@ class BayesianOptimizer:
         self._X_buf = np.empty((0, self._enc_dim), dtype=float)
         self._y_buf = np.empty(0, dtype=float)
         self._n_rows = 0
+        # Rows already incorporated into the surrogate (via fit/partial_fit);
+        # lets tell() hand partial-fit-capable models only the new rows.
+        self._n_fitted_rows = 0
         self.last_tell_duration = 0.0
         self.last_ask_duration = 0.0
         self.num_fits = 0
@@ -199,18 +206,9 @@ class BayesianOptimizer:
     # ------------------------------------------------------- history buffers
     def _append_history(self, X_new: np.ndarray, y_new: np.ndarray) -> None:
         """Append encoded rows/objectives into the capacity-doubling buffers."""
-        count = X_new.shape[0]
-        needed = self._n_rows + count
-        if needed > self._X_buf.shape[0]:
-            capacity = max(64, 2 * self._X_buf.shape[0])
-            while capacity < needed:
-                capacity *= 2
-            X_grown = np.empty((capacity, self._enc_dim), dtype=float)
-            X_grown[: self._n_rows] = self._X_buf[: self._n_rows]
-            self._X_buf = X_grown
-            y_grown = np.empty(capacity, dtype=float)
-            y_grown[: self._n_rows] = self._y_buf[: self._n_rows]
-            self._y_buf = y_grown
+        needed = self._n_rows + X_new.shape[0]
+        self._X_buf = grow_buffer(self._X_buf, needed)
+        self._y_buf = grow_buffer(self._y_buf, needed)
         self._X_buf[self._n_rows : needed] = X_new
         self._y_buf[self._n_rows : needed] = y_new
         self._n_rows = needed
@@ -256,7 +254,18 @@ class BayesianOptimizer:
         )
         if should_fit:
             X, y = self._train_data()
-            self.surrogate.fit(X, y)
+            fitted_rows = self._n_fitted_rows
+            if (
+                self.surrogate.supports_partial_fit
+                and self.surrogate.fitted
+                and 0 < fitted_rows < X.shape[0]
+            ):
+                # Incremental surrogates (the GP's rank-1 Cholesky extension)
+                # only see the rows appended since the last fit.
+                self.surrogate.partial_fit(X[fitted_rows:], y[fitted_rows:])
+            else:
+                self.surrogate.fit(X, y)
+            self._n_fitted_rows = X.shape[0]
             self.num_fits += 1
             self._new_since_fit = 0
         self.last_tell_duration = time.perf_counter() - start

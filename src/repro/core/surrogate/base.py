@@ -19,10 +19,19 @@ class Surrogate(ABC):
       their objectives, and
     * :meth:`predict` returning a mean and a standard deviation per candidate
       (the uncertainty drives the exploration term of the LCB acquisition).
+
+    Models that can incorporate new observations cheaper than a full refit
+    (the GP's rank-1 Cholesky extension) additionally expose
+    :meth:`partial_fit` and advertise it through
+    :attr:`supports_partial_fit`; the optimizer's ``tell`` feeds them only the
+    rows appended since the last fit.
     """
 
     #: Whether the model has been fitted at least once.
     fitted: bool = False
+
+    #: Whether :meth:`partial_fit` is implemented as an incremental update.
+    supports_partial_fit: bool = False
 
     @abstractmethod
     def fit(self, X: np.ndarray, y: np.ndarray) -> "Surrogate":
@@ -31,6 +40,17 @@ class Surrogate(ABC):
     @abstractmethod
     def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Predict mean and standard deviation for each row of ``X``."""
+
+    def partial_fit(self, X_new: np.ndarray, y_new: np.ndarray) -> "Surrogate":
+        """Incorporate new rows into an already fitted model.
+
+        The default implementation raises: models without an incremental
+        update keep ``supports_partial_fit = False`` and are always refitted
+        on the full training set by the optimizer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental fitting"
+        )
 
     # ------------------------------------------------------------------ utils
     @staticmethod

@@ -196,15 +196,30 @@ def fit_transfer_prior(
     shared_space = target_space.subspace(shared_names, name="shared")
     transform = TabularTransform(shared_space)
 
-    top = source_history.top_quantile(quantile)
     # Keep only the shared parameters and clip them into the target bounds
     # (bounds may legitimately change between campaigns).
-    top_shared: List[Configuration] = []
-    for config in top:
-        restricted = {name: config[name] for name in shared_names if name in config}
-        if len(restricted) != len(shared_names):
-            continue
-        top_shared.append(shared_space.clip(restricted))
+    if source_history.has_incomplete_rows:
+        # Row-tolerant fallback: histories with hand-built evaluations may
+        # define the shared parameters while lacking source-only ones; only
+        # rows missing a *shared* parameter are dropped.
+        top_shared: List[Configuration] = []
+        for config in source_history.top_quantile(quantile):
+            restricted = {
+                name: config[name] for name in shared_names if name in config
+            }
+            if len(restricted) == len(shared_names):
+                top_shared.append(shared_space.clip(restricted))
+    else:
+        # Hot path: select Q_p on the history's objective column and
+        # fancy-index only the shared parameter columns — the selection never
+        # materialises one dict per historical evaluation (H_p has 1500+ rows
+        # at paper scale, Q_p a handful).
+        top_batch = source_history.top_quantile_columns(quantile)
+        shared_columns = [top_batch.column(name).tolist() for name in shared_names]
+        top_shared = [
+            shared_space.clip(dict(zip(shared_names, row)))
+            for row in zip(*shared_columns)
+        ]
 
     vae: Optional[TabularVAE] = None
     if len(top_shared) >= min_configurations_for_vae:
