@@ -1,0 +1,257 @@
+"""Multi-campaign batch runner vs. sequential campaigns — wall-clock speedup.
+
+The paper's evaluation is a *fleet* of asynchronous BO campaigns (setups ×
+methods × repetitions).  This benchmark runs the same 8-campaign fleet two
+ways:
+
+* **sequential** — 8 independent ``CBOSearch.run`` calls, one after another
+  (how ``run_repeated_search`` executed before the service layer existed);
+* **batched** — one :class:`~repro.service.CampaignRunner` advancing all 8
+  campaigns in lock-step batch ticks: per tick, the due random-forest refits
+  run as a single bit-identical fleet fit, the candidate pools are scored in
+  one fused forest traversal, and the run-function calls (a shared
+  surrogate-runtime model of the application, as in the paper's Fig. 5
+  methodology) are evaluated by one
+  :class:`~repro.hep.surrogate_runtime.SurrogateRuntimeFleet` pass.
+
+The two executions are asserted **bit-identical** per campaign (identical
+histories, evaluation timings, busy intervals and utilisation) — the batched
+runner changes wall-clock only.  Timings take the best of ``--reps``
+repetitions per mode to suppress machine noise.
+
+Results are written to ``BENCH_multi_campaign.json`` (repo root by default).
+Acceptance bar: ≥2× batched-vs-sequential speedup at the headline 8-campaign
+scenario.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_multi_campaign.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `common` when run directly
+
+from repro.core.search import CBOSearch, SearchResult
+from repro.core.surrogate import RandomForestSurrogate
+from repro.hep import HEPWorkflowProblem
+from repro.hep.surrogate_runtime import SurrogateRuntime, SurrogateRuntimeFleet
+from repro.service import CampaignRunner, CampaignSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_multi_campaign.json"
+
+SETUP = "4n-2s-20p"
+NUM_CAMPAIGNS = 8
+
+#: Scenario name → campaign knobs.  The headline scenario is fleet-shaped:
+#: many workers per campaign and a moderate evaluation budget, where the
+#: per-tick surrogate refits dominate and batch ticks amortise them.
+SCENARIOS: Dict[str, Dict[str, int]] = {
+    "fleet": dict(
+        num_workers=32, max_evaluations=64, num_candidates=64, n_initial_points=6, n_estimators=8
+    ),
+    "standard": dict(
+        num_workers=16, max_evaluations=96, num_candidates=128, n_initial_points=10, n_estimators=12
+    ),
+    "paper-shape": dict(
+        num_workers=8, max_evaluations=128, num_candidates=512, n_initial_points=10, n_estimators=12
+    ),
+}
+HEADLINE = "fleet"
+
+
+def build_application_model(problem: HEPWorkflowProblem, seed: int = 7) -> SurrogateRuntime:
+    """The shared surrogate model of the application's run time (Fig. 5 style)."""
+    rng = np.random.default_rng(seed)
+    configs = problem.space.sample(160, rng)
+    runtimes = np.exp(rng.normal(4.5, 0.6, size=len(configs)))
+    return SurrogateRuntime.from_data(problem.space, configs, runtimes, seed=seed)
+
+
+def make_runtimes(problem: HEPWorkflowProblem, base: SurrogateRuntime) -> List[SurrogateRuntime]:
+    """Per-campaign run functions: one shared forest, private noise streams."""
+    return [
+        SurrogateRuntime(problem.space, base.forest, noise=0.02, seed=100 + i)
+        for i in range(NUM_CAMPAIGNS)
+    ]
+
+
+def make_search(problem, run_function, seed, knobs) -> CBOSearch:
+    return CBOSearch(
+        problem.space,
+        run_function,
+        num_workers=knobs["num_workers"],
+        surrogate=RandomForestSurrogate(n_estimators=knobs["n_estimators"], seed=seed),
+        num_candidates=knobs["num_candidates"],
+        n_initial_points=knobs["n_initial_points"],
+        seed=seed,
+    )
+
+
+def run_sequential(problem, base, knobs) -> List[SearchResult]:
+    runtimes = make_runtimes(problem, base)
+    return [
+        make_search(problem, runtimes[i], i, knobs).run(
+            max_time=float("inf"), max_evaluations=knobs["max_evaluations"]
+        )
+        for i in range(NUM_CAMPAIGNS)
+    ]
+
+
+def run_batched(problem, base, knobs) -> List[SearchResult]:
+    runtimes = make_runtimes(problem, base)
+    fleet = SurrogateRuntimeFleet(runtimes)
+    specs = [
+        CampaignSpec(
+            search=make_search(problem, runtimes[i], i, knobs),
+            max_time=float("inf"),
+            max_evaluations=knobs["max_evaluations"],
+            label=f"campaign-{i}",
+        )
+        for i in range(NUM_CAMPAIGNS)
+    ]
+    runner = CampaignRunner(specs, run_batcher=fleet.run_batch)
+    return runner.run()
+
+
+def assert_bit_identical(seq: List[SearchResult], bat: List[SearchResult]) -> None:
+    """Hard check: the batched runner must not change any campaign's results."""
+    for i, (a, b) in enumerate(zip(seq, bat)):
+        assert len(a.history) == len(b.history), f"campaign {i}: history length"
+        for ev_a, ev_b in zip(a.history, b.history):
+            assert ev_a.configuration == ev_b.configuration, f"campaign {i}: configuration"
+            assert ev_a.submitted == ev_b.submitted, f"campaign {i}: submitted"
+            assert ev_a.completed == ev_b.completed, f"campaign {i}: completed"
+            assert (ev_a.objective == ev_b.objective) or (
+                math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
+            ), f"campaign {i}: objective"
+        assert a.busy_intervals == b.busy_intervals, f"campaign {i}: busy intervals"
+        assert a.worker_utilization == b.worker_utilization, f"campaign {i}: utilization"
+        assert a.best_configuration == b.best_configuration, f"campaign {i}: best"
+
+
+class _FitClock:
+    """Wall-clock spent inside the level-wise forest builder (both modes)."""
+
+    def __init__(self):
+        import repro.core.surrogate.random_forest as rf_module
+
+        self._module = rf_module
+        self._original = rf_module._build_forest_fleet
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return self._original(*args, **kwargs)
+            finally:
+                self.elapsed += time.perf_counter() - start
+
+        self._module._build_forest_fleet = timed
+        return self
+
+    def __exit__(self, *exc):
+        self._module._build_forest_fleet = self._original
+        return False
+
+
+def measure(problem, base, knobs, reps: int) -> Dict[str, object]:
+    """Best-of-``reps`` wall clock for both modes, with a bit-identity check."""
+    seq_times, bat_times = [], []
+    seq_fit, bat_fit = [], []
+    seq_results = bat_results = None
+    for _ in range(reps):
+        with _FitClock() as clock:
+            start = time.perf_counter()
+            seq_results = run_sequential(problem, base, knobs)
+            seq_times.append(time.perf_counter() - start)
+        seq_fit.append(clock.elapsed)
+        with _FitClock() as clock:
+            start = time.perf_counter()
+            bat_results = run_batched(problem, base, knobs)
+            bat_times.append(time.perf_counter() - start)
+        bat_fit.append(clock.elapsed)
+    assert_bit_identical(seq_results, bat_results)
+    t_seq, t_bat = min(seq_times), min(bat_times)
+    return {
+        "knobs": dict(knobs),
+        "num_campaigns": NUM_CAMPAIGNS,
+        "evaluations_per_campaign": [r.num_evaluations for r in bat_results],
+        "sequential_s": t_seq,
+        "batched_s": t_bat,
+        "speedup": t_seq / max(t_bat, 1e-12),
+        "surrogate_fit_sequential_s": min(seq_fit),
+        "surrogate_fit_batched_s": min(bat_fit),
+        "speedup_surrogate_fits": min(seq_fit) / max(min(bat_fit), 1e-12),
+        "bit_identical": True,
+    }
+
+
+def run_benchmark(reps: int = 3, scenarios=None, output: Path = DEFAULT_OUTPUT):
+    problem = HEPWorkflowProblem.from_setup(SETUP, seed=1)
+    base = build_application_model(problem)
+    names = list(scenarios or SCENARIOS)
+    results = {}
+    for name in names:
+        entry = measure(problem, base, SCENARIOS[name], reps)
+        results[name] = entry
+        print(
+            f"{name:12s} seq {entry['sequential_s']:6.2f}s  "
+            f"batched {entry['batched_s']:6.2f}s  speedup {entry['speedup']:.2f}x  "
+            f"(surrogate fits {entry['speedup_surrogate_fits']:.2f}x, bit-identical)"
+        )
+    headline = results.get(HEADLINE) or results[names[0]]
+    payload = {
+        "benchmark": "multi_campaign",
+        "setup": SETUP,
+        "num_campaigns": NUM_CAMPAIGNS,
+        "reps": reps,
+        "description": (
+            "8 concurrent asynchronous BO campaigns over a shared "
+            "surrogate-runtime application model: one CampaignRunner batch-tick "
+            "execution (fleet surrogate fits, fused candidate scoring, batched "
+            "run-function evaluation) vs 8 sequential CBOSearch.run calls. "
+            "Results are asserted bit-identical per campaign; only wall-clock "
+            "changes. Times are best-of-reps."
+        ),
+        "results": results,
+        "acceptance": {
+            "criterion": f"batched vs sequential speedup >= 2.0 at the '{HEADLINE}' scenario, bit-identical",
+            "speedup": headline["speedup"],
+            "speedup_surrogate_fits": headline["speedup_surrogate_fits"],
+            "bit_identical": headline["bit_identical"],
+            "passed": bool(headline["speedup"] >= 2.0 and headline["bit_identical"]),
+        },
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    status = "PASS" if payload["acceptance"]["passed"] else "FAIL"
+    print(f"acceptance ({payload['acceptance']['criterion']}): {headline['speedup']:.2f}x -> {status}")
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="one rep, headline scenario only")
+    parser.add_argument("--reps", type=int, default=3, help="repetitions per mode (best-of)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
+    args = parser.parse_args(argv)
+    if args.quick:
+        return run_benchmark(reps=1, scenarios=[HEADLINE], output=args.output)
+    return run_benchmark(reps=args.reps, output=args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,25 @@ __all__ = ["PendingEvaluation", "CompletedEvaluation", "WorkerState", "AsyncVirt
 DEFAULT_FAILURE_DURATION = 600.0
 
 
+def resolve_duration(
+    config: Configuration,
+    runtime: float,
+    duration_function: Optional[Callable[[Configuration, float], float]],
+    failure_duration: float,
+) -> float:
+    """Virtual time an evaluation occupies its worker.
+
+    Shared by every evaluation backend so the failure semantics cannot
+    drift between them: the measured runtime for finite positive values,
+    ``failure_duration`` otherwise, unless ``duration_function`` overrides.
+    """
+    if duration_function is not None:
+        return float(duration_function(config, runtime))
+    if math.isfinite(runtime) and runtime > 0:
+        return runtime
+    return failure_duration
+
+
 @dataclass
 class PendingEvaluation:
     """An evaluation currently running on a worker."""
@@ -117,6 +136,7 @@ class AsyncVirtualEvaluator:
         self.now = 0.0
         self.num_submitted = 0
         self.num_collected = 0
+        self._started_intervals: List[Tuple[float, float]] = []
 
     # ------------------------------------------------------------- submission
     def idle_workers(self) -> List[WorkerState]:
@@ -133,18 +153,41 @@ class AsyncVirtualEvaluator:
         """Number of evaluations currently running."""
         return len(self._pending)
 
-    def submit(self, configurations: Sequence[Configuration]) -> int:
+    def pending_evaluations(self) -> Tuple[PendingEvaluation, ...]:
+        """Snapshot of the evaluations currently running (submission order)."""
+        return tuple(self._pending)
+
+    def drain_started_intervals(self) -> List[Tuple[float, float]]:
+        """``(submitted, completes_at)`` of evaluations started since the last
+        drain, in start order — the busy-interval feed of Fig. 4 (f)."""
+        started, self._started_intervals = self._started_intervals, []
+        return started
+
+    def submit(
+        self,
+        configurations: Sequence[Configuration],
+        runtimes: Optional[Sequence[float]] = None,
+    ) -> int:
         """Assign configurations to idle workers at the current search time.
 
         Returns the number of configurations actually submitted (bounded by
         the number of idle workers); excess configurations are dropped, which
         mirrors the search only ever asking for as many points as there are
         idle workers.
+
+        ``runtimes`` optionally supplies the measured run time per
+        configuration, replacing the ``run_function`` calls — used by batch
+        drivers that evaluate many campaigns' submissions in one vectorised
+        pass.  Values must equal what ``run_function`` would have returned.
         """
+        if runtimes is not None and len(runtimes) != len(configurations):
+            raise ValueError("runtimes and configurations must have equal length")
         submitted = 0
         idle = self.idle_workers()
-        for config, worker in zip(configurations, idle):
-            runtime = float(self.run_function(config))
+        for i, (config, worker) in enumerate(zip(configurations, idle)):
+            runtime = float(
+                self.run_function(config) if runtimes is None else runtimes[i]
+            )
             duration = self._duration(config, runtime)
             self._pending.append(
                 PendingEvaluation(
@@ -161,14 +204,13 @@ class AsyncVirtualEvaluator:
             worker.evaluations += 1
             submitted += 1
             self.num_submitted += 1
+            self._started_intervals.append((self.now, self.now + duration))
         return submitted
 
     def _duration(self, config: Configuration, runtime: float) -> float:
-        if self.duration_function is not None:
-            return float(self.duration_function(config, runtime))
-        if math.isfinite(runtime) and runtime > 0:
-            return runtime
-        return self.failure_duration
+        return resolve_duration(
+            config, runtime, self.duration_function, self.failure_duration
+        )
 
     # -------------------------------------------------------------- collection
     def next_completion_time(self) -> float:

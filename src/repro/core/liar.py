@@ -27,7 +27,7 @@ benchmark.
 from __future__ import annotations
 
 import copy
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +67,7 @@ class ConstantLiar:
         candidates_unit: np.ndarray,
         train_X: np.ndarray,
         train_y: np.ndarray,
+        predictions: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> List[int]:
         """Return the indices of ``n`` selected candidates.
 
@@ -85,6 +86,12 @@ class ConstantLiar:
             penalty distances).
         train_X, train_y:
             Current training data (needed by the ``refit`` strategy).
+        predictions:
+            Optional precomputed ``(mean, std)`` surrogate scores of the
+            candidate matrix (e.g. from a sharded scoring pass).  Used by the
+            kernel-penalty strategy instead of its own ``predict`` call; the
+            refit strategy re-predicts per pick and ignores them (its first
+            prediction equals the precomputed one).
         """
         if n <= 0:
             return []
@@ -95,7 +102,7 @@ class ConstantLiar:
                 n, surrogate, acquisition, candidates_encoded, train_X, train_y
             )
         return self._select_kernel_penalty(
-            n, surrogate, acquisition, candidates_encoded, candidates_unit
+            n, surrogate, acquisition, candidates_encoded, candidates_unit, predictions
         )
 
     # ------------------------------------------------------------------ exact
@@ -141,8 +148,11 @@ class ConstantLiar:
         acquisition: UCBAcquisition,
         candidates_encoded: np.ndarray,
         candidates_unit: np.ndarray,
+        predictions: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> List[int]:
-        mean, std = surrogate.predict(candidates_encoded)
+        mean, std = (
+            predictions if predictions is not None else surrogate.predict(candidates_encoded)
+        )
         scores = acquisition(mean, std)
         # Magnitude of the penalty: collapsing the confidence bonus plus
         # pulling the mean toward the worst observation is, at the selected

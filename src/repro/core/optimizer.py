@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 import time
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -58,7 +59,28 @@ from repro.core.surrogate import (
     Surrogate,
 )
 
-__all__ = ["BayesianOptimizer", "make_surrogate"]
+__all__ = ["BayesianOptimizer", "PreparedAsk", "make_surrogate"]
+
+
+@dataclass
+class PreparedAsk:
+    """One :meth:`BayesianOptimizer.ask` in flight, between its phases.
+
+    Either ``proposals`` is already decided (initialisation phase / random
+    sampling), or the encoded candidate pool awaits surrogate scores.
+    ``wants_scores`` is the single source of truth for whether precomputed
+    pool scores would be used — the refit liar re-predicts per pick and
+    discards them, so external scorers should skip pools that don't want
+    scores.
+    """
+
+    n: int
+    proposals: Optional[List[Configuration]] = None
+    fresh: Optional[ConfigsLike] = None
+    fresh_configs: Optional[List[Configuration]] = None
+    encoded: Optional[np.ndarray] = None
+    unit: Optional[np.ndarray] = None
+    wants_scores: bool = False
 
 
 def make_surrogate(kind: Union[str, Surrogate], seed: int = 0) -> Surrogate:
@@ -116,6 +138,17 @@ class BayesianOptimizer:
         interaction — the pre-cache behaviour, kept selectable so the
         regression tests can assert both paths produce bit-identical
         proposals and the benchmarks can quantify the cache's effect.
+    score_shards:
+        Number of row-contiguous shards the candidate matrix is split into
+        for surrogate scoring during :meth:`ask`.  ``1`` (default) scores the
+        whole pool in one ``predict`` call; larger values score shard-by-shard
+        (optionally mapped over ``score_executor``) and concatenate — the
+        proposals are bit-identical for any shard count because RF/GP
+        predictions are row-local.
+    score_executor:
+        Optional executor with a ``map`` method (e.g.
+        :class:`concurrent.futures.ThreadPoolExecutor`) used to score shards
+        concurrently; ``None`` scores them sequentially.
     seed:
         Seed of the optimizer's RNG.
     """
@@ -133,6 +166,8 @@ class BayesianOptimizer:
         random_sampling: bool = False,
         refit_interval: int = 1,
         incremental: bool = True,
+        score_shards: int = 1,
+        score_executor: Optional[object] = None,
         objective: Optional[Objective] = None,
         seed: int = 0,
     ):
@@ -140,6 +175,8 @@ class BayesianOptimizer:
             raise ValueError("num_candidates must be >= 1")
         if n_initial_points < 1:
             raise ValueError("n_initial_points must be >= 1")
+        if score_shards < 1:
+            raise ValueError("score_shards must be >= 1")
         self.space = space
         self.surrogate = make_surrogate(surrogate, seed=seed)
         self.prior = prior if prior is not None else IndependentPrior(space)
@@ -152,6 +189,8 @@ class BayesianOptimizer:
             raise ValueError("refit_interval must be >= 1")
         self.refit_interval = int(refit_interval)
         self.incremental = bool(incremental)
+        self.score_shards = int(score_shards)
+        self.score_executor = score_executor
         self._new_since_fit = 0
         self.objective = objective or Objective()
         self.rng = np.random.default_rng(seed)
@@ -232,14 +271,39 @@ class BayesianOptimizer:
 
         ``objectives`` are maximised values; NaN marks failures and is
         replaced by the objective's failure placeholder for model fitting.
+
+        ``tell`` is :meth:`ingest` followed by :meth:`fit_now` when a fit is
+        due; multi-campaign drivers call the two halves separately so several
+        optimizers' surrogate fits can be grouped into one fleet pass.
+        """
+        if not configurations:
+            if len(configurations) != len(objectives):
+                raise ValueError("configurations and objectives must have equal length")
+            return
+        start = time.perf_counter()
+        if self.ingest(configurations, objectives):
+            self.fit_now()
+        self.last_tell_duration = time.perf_counter() - start
+
+    def ingest(self, configurations: Sequence[Configuration], objectives: Sequence[float]) -> bool:
+        """Record completed evaluations without fitting.
+
+        Returns True when a surrogate (re)fit is now due — the caller is then
+        responsible for either :meth:`fit_now` or an external fit (e.g.
+        :func:`~repro.core.surrogate.random_forest.fit_forest_fleet` over
+        :meth:`training_data`) followed by :meth:`mark_fitted`.
         """
         if len(configurations) != len(objectives):
             raise ValueError("configurations and objectives must have equal length")
         if not configurations:
-            return
-        start = time.perf_counter()
+            return False
         new_configs = [dict(config) for config in configurations]
-        batch = ColumnBatch.from_configurations(self.space, new_configs)
+        if len(new_configs) <= 4:
+            # The asynchronous loop tells one or two evaluations at a time;
+            # the row-major codecs' scalar path beats building a ColumnBatch.
+            batch: ConfigsLike = new_configs
+        else:
+            batch = ColumnBatch.from_configurations(self.space, new_configs)
         filled = [self.objective.fill_failure(obj) for obj in objectives]
         self._configs.extend(new_configs)
         self._objectives.extend(filled)
@@ -247,44 +311,76 @@ class BayesianOptimizer:
         self._new_since_fit += len(new_configs)
         if self.incremental:
             self._append_history(self._encode(batch), np.asarray(filled, dtype=float))
-        should_fit = (
+        return (
             not self.random_sampling
             and self.num_observations >= self.n_initial_points
             and (not self.surrogate.fitted or self._new_since_fit >= self.refit_interval)
         )
-        if should_fit:
-            X, y = self._train_data()
-            fitted_rows = self._n_fitted_rows
-            if (
-                self.surrogate.supports_partial_fit
-                and self.surrogate.fitted
-                and 0 < fitted_rows < X.shape[0]
-            ):
-                # Incremental surrogates (the GP's rank-1 Cholesky extension)
-                # only see the rows appended since the last fit.
-                self.surrogate.partial_fit(X[fitted_rows:], y[fitted_rows:])
-            else:
-                self.surrogate.fit(X, y)
-            self._n_fitted_rows = X.shape[0]
-            self.num_fits += 1
-            self._new_since_fit = 0
-        self.last_tell_duration = time.perf_counter() - start
+
+    def training_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The encoded training matrix and objective vector (read-only views)."""
+        return self._train_data()
+
+    def fit_now(self) -> None:
+        """Fit the surrogate on the current training data (after :meth:`ingest`)."""
+        X, y = self._train_data()
+        fitted_rows = self._n_fitted_rows
+        if (
+            self.surrogate.supports_partial_fit
+            and self.surrogate.fitted
+            and 0 < fitted_rows < X.shape[0]
+        ):
+            # Incremental surrogates (the GP's rank-1 Cholesky extension)
+            # only see the rows appended since the last fit.
+            self.surrogate.partial_fit(X[fitted_rows:], y[fitted_rows:])
+        else:
+            self.surrogate.fit(X, y)
+        self.mark_fitted()
+
+    def mark_fitted(self) -> None:
+        """Record that the surrogate now reflects the full evaluated history.
+
+        Called by :meth:`fit_now`, or by drivers that fitted the surrogate
+        externally (the multi-campaign fleet fit).
+        """
+        self._n_fitted_rows = self._n_rows if self.incremental else len(self._configs)
+        self.num_fits += 1
+        self._new_since_fit = 0
 
     # -------------------------------------------------------------------- ask
     def ask(self, n: int = 1) -> List[Configuration]:
-        """Propose ``n`` configurations for evaluation."""
+        """Propose ``n`` configurations for evaluation.
+
+        ``ask`` runs :meth:`prepare_ask` (candidate generation), scores the
+        pool with :meth:`_predict_candidates` (sharded when ``score_shards``
+        > 1) and selects the batch with :meth:`finish_ask`; the split lets
+        multi-campaign drivers interleave the phases across optimizers.
+        """
+        start = time.perf_counter()
+        prepared = self.prepare_ask(n)
+        if prepared.proposals is not None:
+            self.last_ask_duration = time.perf_counter() - start
+            return prepared.proposals
+        proposals = self.finish_ask(prepared, None, None)
+        self.last_ask_duration = time.perf_counter() - start
+        return proposals
+
+    def prepare_ask(self, n: int = 1) -> "PreparedAsk":
+        """Generate and encode the fresh candidate pool for one ``ask``.
+
+        During the initialisation phase (or with random sampling) the batch
+        is decided immediately and returned in ``PreparedAsk.proposals``;
+        otherwise the prepared pool awaits surrogate scores.
+        """
         if n < 1:
             raise ValueError("n must be >= 1")
-        start = time.perf_counter()
         use_model = (
             not self.random_sampling
             and self.surrogate.fitted
             and self.num_observations >= self.n_initial_points
         )
         if not use_model:
-            proposals = self._sample_unique(n)
-            self.last_ask_duration = time.perf_counter() - start
-            return proposals
+            return PreparedAsk(n=n, proposals=self._sample_unique(n))
 
         # Candidate generation from the (possibly informative) prior, columnar.
         candidates = self.space.sample_columns(self.num_candidates, self.rng, prior=self.prior)
@@ -305,22 +401,64 @@ class BayesianOptimizer:
             fresh = candidates.take(fresh_idx)
         encoded = self._encode(fresh)
         unit = self.space.to_unit_array(fresh)
+        return PreparedAsk(
+            n=n,
+            fresh=fresh,
+            fresh_configs=fresh_configs,
+            encoded=encoded,
+            unit=unit,
+            wants_scores=self.liar.strategy != "refit",
+        )
+
+    def _predict_candidates(self, encoded: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Surrogate scores for the candidate pool, shard-by-shard if configured.
+
+        RF and GP predictions are row-local, so scoring ``score_shards``
+        row-contiguous shards and concatenating is bit-identical to one full
+        ``predict`` call (pinned by the test suite); the shard map optionally
+        runs on ``score_executor``.
+        """
+        shards = min(self.score_shards, max(1, int(encoded.shape[0])))
+        if shards <= 1:
+            return self.surrogate.predict(encoded)
+        chunks = np.array_split(encoded, shards)
+        if self.score_executor is not None:
+            parts = list(self.score_executor.map(self.surrogate.predict, chunks))
+        else:
+            parts = [self.surrogate.predict(chunk) for chunk in chunks]
+        mean = np.concatenate([p[0] for p in parts])
+        std = np.concatenate([p[1] for p in parts])
+        return mean, std
+
+    def finish_ask(
+        self,
+        prepared: "PreparedAsk",
+        mean: Optional[np.ndarray],
+        std: Optional[np.ndarray],
+    ) -> List[Configuration]:
+        """Select the proposal batch from a scored candidate pool.
+
+        ``mean``/``std`` may be ``None``: pools that want scores
+        (``prepared.wants_scores``) are then scored here via the (sharded)
+        scoring path, and pools that don't (the refit liar re-predicts per
+        pick) proceed without.
+        """
+        if mean is None and prepared.wants_scores:
+            mean, std = self._predict_candidates(prepared.encoded)
         train_X, train_y = self._train_data()
         indices = self.liar.select(
-            n,
+            prepared.n,
             surrogate=self.surrogate,
             acquisition=self.acquisition,
-            candidates_encoded=encoded,
-            candidates_unit=unit,
+            candidates_encoded=prepared.encoded,
+            candidates_unit=prepared.unit,
             train_X=train_X,
             train_y=train_y,
+            predictions=None if mean is None else (mean, std),
         )
-        if fresh_configs is not None:
-            proposals = [fresh_configs[i] for i in indices]
-        else:
-            proposals = fresh.take(np.asarray(indices, dtype=np.intp)).to_configurations()
-        self.last_ask_duration = time.perf_counter() - start
-        return proposals
+        if prepared.fresh_configs is not None:
+            return [prepared.fresh_configs[i] for i in indices]
+        return prepared.fresh.take(np.asarray(indices, dtype=np.intp)).to_configurations()
 
     def _sample_unique(self, n: int) -> List[Configuration]:
         """Sample ``n`` prior configurations, avoiding duplicates if possible.

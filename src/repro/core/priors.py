@@ -142,9 +142,16 @@ class CategoricalPrior(ParameterPrior):
         if total <= 0:
             raise ValueError("probabilities must not all be zero")
         self.probabilities = probabilities / total
+        # Precomputed inverse-CDF table: drawing via rng.random + searchsorted
+        # consumes the generator exactly like rng.choice(..., p=...) does
+        # internally (same uniforms, same cutoffs), minus choice's per-call
+        # validation overhead — this is the innermost loop of candidate
+        # sampling.
+        self._cdf = self.probabilities.cumsum()
+        self._cdf /= self._cdf[-1]
 
     def sample_array(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        idx = rng.choice(len(self.values), size=n, p=self.probabilities)
+        idx = self._cdf.searchsorted(rng.random(n), side="right")
         return self._values_array[idx]
 
 

@@ -26,6 +26,7 @@ uninformative priors for parameters that are new in the current space).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -41,7 +42,7 @@ from repro.core.space import Configuration, SearchSpace
 from repro.core.surrogate.base import Surrogate
 from repro.core.transfer import TransferLearningPrior, fit_transfer_prior
 
-__all__ = ["SearchResult", "CBOSearch", "VAEABOSearch"]
+__all__ = ["SearchResult", "CampaignExecution", "CBOSearch", "VAEABOSearch"]
 
 
 @dataclass
@@ -123,6 +124,17 @@ class CBOSearch:
         (default) or re-encodes it per interaction; see
         :class:`~repro.core.optimizer.BayesianOptimizer`.  Both settings
         produce identical searches — only real wall-clock time differs.
+    score_shards, score_executor:
+        Candidate-scoring sharding of the optimizer's ``ask`` (see
+        :class:`~repro.core.optimizer.BayesianOptimizer`); any shard count
+        produces identical searches.
+    evaluator_factory:
+        Optional callable ``(run_function, num_workers, failure_duration) →
+        evaluator`` replacing the private
+        :class:`~repro.core.evaluator.AsyncVirtualEvaluator` — e.g. a
+        :class:`~repro.service.ServiceEvaluator` bound to a shared worker
+        pool.  The evaluator must implement the same
+        submit/collect/wait_any protocol.
     seed:
         RNG seed.
     """
@@ -144,6 +156,9 @@ class CBOSearch:
         random_sampling: bool = False,
         refit_interval: int = 1,
         incremental: bool = True,
+        score_shards: int = 1,
+        score_executor: Optional[object] = None,
+        evaluator_factory: Optional[Callable] = None,
         seed: int = 0,
     ):
         self.space = space
@@ -161,11 +176,14 @@ class CBOSearch:
             random_sampling=random_sampling,
             refit_interval=refit_interval,
             incremental=incremental,
+            score_shards=score_shards,
+            score_executor=score_executor,
             objective=self.objective,
             seed=seed,
         )
         self.overhead = make_overhead_model(overhead)
         self.failure_duration = float(failure_duration)
+        self.evaluator_factory = evaluator_factory
         self.seed = int(seed)
 
     # --------------------------------------------------------------------- run
@@ -187,84 +205,289 @@ class CBOSearch:
             Optional explicit initial batch (used by the framework comparison
             to give every method the same 10 initial samples).
         """
+        execution = self.start(
+            max_time=max_time,
+            max_evaluations=max_evaluations,
+            initial_configurations=initial_configurations,
+        )
+        while execution.advance():
+            pass
+        return execution.result()
+
+    def start(
+        self,
+        max_time: float = 3600.0,
+        max_evaluations: Optional[int] = None,
+        initial_configurations: Optional[Sequence[Configuration]] = None,
+        defer_initial_submit: bool = False,
+    ) -> "CampaignExecution":
+        """Begin a search and return its stepping :class:`CampaignExecution`.
+
+        ``run`` is ``start`` plus stepping to completion; multi-campaign
+        drivers step several executions in lock-step instead.  With
+        ``defer_initial_submit`` the initialisation batch is proposed but
+        left pending (see :meth:`CampaignExecution.submit_prepared`), so a
+        batch driver can evaluate all campaigns' initial batches in one pass.
+        """
+        return CampaignExecution(
+            self,
+            max_time=max_time,
+            max_evaluations=max_evaluations,
+            initial_configurations=initial_configurations,
+            defer_initial_submit=defer_initial_submit,
+        )
+
+
+class CampaignExecution:
+    """One in-flight campaign: the stepping form of :meth:`CBOSearch.run`.
+
+    The manager loop is decomposed into the phases a multi-campaign driver
+    needs to interleave:
+
+    * :meth:`collect` — advance the evaluator to the next completion event
+      and record the finished evaluations;
+    * :meth:`tell_collected` — feed them to the optimizer (refitting the
+      surrogate) and charge the model-update overhead, or — for drivers that
+      batch surrogate fits across campaigns — :meth:`ingest_collected` /
+      :meth:`charge_tell` around an external fleet fit;
+    * :meth:`ask_and_submit` — generate proposals for the idle workers,
+      charge the candidate-generation overhead and submit.
+
+    Stepping all phases in order (:meth:`advance`) reproduces the sequential
+    search loop exactly — same evaluations, same clock, same history.
+    """
+
+    def __init__(
+        self,
+        search: "CBOSearch",
+        max_time: float,
+        max_evaluations: Optional[int] = None,
+        initial_configurations: Optional[Sequence[Configuration]] = None,
+        defer_initial_submit: bool = False,
+    ):
         if max_time <= 0:
             raise ValueError("max_time must be positive")
-        evaluator = AsyncVirtualEvaluator(
-            self.run_function,
-            num_workers=self.num_workers,
-            failure_duration=self.failure_duration,
-        )
-        history = SearchHistory(self.space, objective=self.objective)
-        intervals: List[Tuple[float, float]] = []
+        self.search = search
+        self.optimizer = search.optimizer
+        self.max_time = float(max_time)
+        self.max_evaluations = max_evaluations
+        if search.evaluator_factory is not None:
+            self.evaluator = search.evaluator_factory(
+                search.run_function, search.num_workers, search.failure_duration
+            )
+        else:
+            self.evaluator = AsyncVirtualEvaluator(
+                search.run_function,
+                num_workers=search.num_workers,
+                failure_duration=search.failure_duration,
+            )
+        self.history = SearchHistory(search.space, objective=search.objective)
+        self.intervals: List[Tuple[float, float]] = []
+        self.finished = False
+        self._tell_configs: List[Configuration] = []
+        self._tell_objectives: List[float] = []
+        self._num_completed = 0
+        self._pending_batch: Optional[List[Configuration]] = None
+        self._prepared_ask = None
+        self._ask_elapsed = 0.0
 
         # ----------------------------------------------------- initialisation
         if initial_configurations:
-            first = [dict(c) for c in initial_configurations][: self.num_workers]
-            if len(first) < self.num_workers:
-                first.extend(self.optimizer.ask(self.num_workers - len(first)))
+            first = [dict(c) for c in initial_configurations][: search.num_workers]
+            if len(first) < search.num_workers:
+                first.extend(self.optimizer.ask(search.num_workers - len(first)))
         else:
-            first = self.optimizer.ask(self.num_workers)
-        evaluator.submit(first)
-        intervals.extend(
-            (p.submitted, p.completes_at) for p in evaluator._pending
+            first = self.optimizer.ask(search.num_workers)
+        if defer_initial_submit:
+            self._pending_batch = first
+        else:
+            self._submit(first)
+
+    # ----------------------------------------------------------------- phases
+    def collect(self) -> Optional[List[object]]:
+        """Advance to the next completion event and record its evaluations.
+
+        Returns the completed evaluations, or ``None`` when the campaign is
+        over (budget exhausted, evaluation cap reached, or nothing pending).
+        """
+        if self.finished:
+            return None
+        if self._pending_batch is not None:
+            # A deferred initialisation batch that no driver submitted —
+            # submit it now rather than silently finishing with an empty run.
+            self.submit_prepared()
+        evaluator = self.evaluator
+        if not evaluator.now < self.max_time:
+            self.finished = True
+            return None
+        if self.max_evaluations is not None and len(self.history) >= self.max_evaluations:
+            self.finished = True
+            return None
+        _, completed = evaluator.wait_any(self.max_time)
+        if not completed:
+            self.finished = True
+            return None
+        recorded = [
+            self.history.record(
+                ev.configuration,
+                runtime=ev.runtime,
+                submitted=ev.submitted,
+                completed=ev.completed,
+                worker=ev.worker,
+            )
+            for ev in completed
+        ]
+        # The recorded evaluations already hold the objective transform of
+        # each runtime — feed those to the optimizer instead of re-deriving
+        # them.
+        self._tell_configs = [ev.configuration for ev in completed]
+        self._tell_objectives = [rec.objective for rec in recorded]
+        self._num_completed = len(completed)
+        return completed
+
+    def tell_collected(self) -> None:
+        """Feed the collected evaluations to the optimizer and charge overhead."""
+        self.optimizer.tell(self._tell_configs, self._tell_objectives)
+        self.charge_tell()
+
+    def ingest_collected(self) -> bool:
+        """Record the collected evaluations without fitting (fleet-fit path).
+
+        Returns whether a surrogate fit is due; the driver performs it (solo
+        or fleet) and then calls
+        :meth:`~repro.core.optimizer.BayesianOptimizer.mark_fitted` before
+        :meth:`charge_tell`.  The ingest time refreshes the optimizer's
+        measured tell duration (an externally batched fit's time is shared
+        across campaigns and not attributed to any one of them).
+        """
+        start = time.perf_counter()
+        due = self.optimizer.ingest(self._tell_configs, self._tell_objectives)
+        self.optimizer.last_tell_duration = time.perf_counter() - start
+        return due
+
+    def charge_tell(self) -> None:
+        """Charge the model-update overhead for the last collected batch."""
+        evaluator = self.evaluator
+        evaluator.advance_to(
+            evaluator.now
+            + self.search.overhead.tell_cost(self.optimizer, self._num_completed)
         )
 
-        # ------------------------------------------------------ optimization
-        while evaluator.now < max_time:
-            if max_evaluations is not None and len(history) >= max_evaluations:
-                break
-            now, completed = evaluator.wait_any(max_time)
-            if not completed:
-                break
-            recorded = [
-                history.record(
-                    ev.configuration,
-                    runtime=ev.runtime,
-                    submitted=ev.submitted,
-                    completed=ev.completed,
-                    worker=ev.worker,
-                )
-                for ev in completed
-            ]
-            # The recorded evaluations already hold the objective transform of
-            # each runtime — feed those to the optimizer instead of
-            # re-deriving them.
-            self.optimizer.tell(
-                [ev.configuration for ev in completed],
-                [rec.objective for rec in recorded],
-            )
-            evaluator.advance_to(
-                evaluator.now + self.overhead.tell_cost(self.optimizer, len(completed))
-            )
-            if evaluator.now >= max_time:
-                break
-            num_idle = evaluator.num_idle
-            if num_idle > 0:
-                batch = self.optimizer.ask(num_idle)
-                evaluator.advance_to(
-                    evaluator.now + self.overhead.ask_cost(self.optimizer, len(batch))
-                )
-                if evaluator.now >= max_time:
-                    break
-                before = {id(p) for p in evaluator._pending}
-                evaluator.submit(batch)
-                intervals.extend(
-                    (p.submitted, p.completes_at)
-                    for p in evaluator._pending
-                    if id(p) not in before
-                )
+    def ask_and_submit(self) -> None:
+        """Propose for the idle workers, charge overhead and submit."""
+        batch = self.prepare_submit()
+        if batch is not None:
+            self.submit_prepared()
 
-        best = history.best()
+    def prepare_submit(self) -> Optional[List[Configuration]]:
+        """The ask half of :meth:`ask_and_submit`: propose and charge overhead.
+
+        Returns the batch awaiting submission (``None`` when there is nothing
+        to submit or the budget ran out).  Batch drivers evaluate several
+        campaigns' pending batches in one pass and then call
+        :meth:`submit_prepared` with the precomputed runtimes.
+        """
+        if self.begin_ask() is None:
+            return None
+        return self.finish_ask()
+
+    def begin_ask(self) -> Optional["object"]:
+        """Candidate generation for the idle workers, scores still pending.
+
+        Returns the optimizer's
+        :class:`~repro.core.optimizer.PreparedAsk` (``None`` when no workers
+        are idle or the budget ran out).  Drivers that fuse candidate scoring
+        across campaigns score the prepared pool externally and hand the
+        results to :meth:`finish_ask`.
+        """
+        self._pending_batch = None
+        self._prepared_ask = None
+        evaluator = self.evaluator
+        if evaluator.now >= self.max_time:
+            self.finished = True
+            return None
+        num_idle = evaluator.num_idle
+        if num_idle > 0:
+            start = time.perf_counter()
+            self._prepared_ask = self.optimizer.prepare_ask(num_idle)
+            self._ask_elapsed = time.perf_counter() - start
+        return self._prepared_ask
+
+    def finish_ask(self, mean=None, std=None) -> Optional[List[Configuration]]:
+        """Select the proposal batch (scoring it here unless scores are given)
+        and charge the candidate-generation overhead."""
+        prepared = self._prepared_ask
+        if prepared is None:
+            return None
+        self._prepared_ask = None
+        start = time.perf_counter()
+        if prepared.proposals is not None:
+            batch = prepared.proposals
+        else:
+            # finish_ask scores the pool itself (sharded path) when no fused
+            # scores were provided and the pool wants them.
+            batch = self.optimizer.finish_ask(prepared, mean, std)
+        # Keep the measured-overhead signal alive under phase stepping: the
+        # campaign's own prepare + score/select time stands in for what a
+        # monolithic ask() would have measured (fused scoring time is shared
+        # across campaigns and not attributed).
+        self.optimizer.last_ask_duration = self._ask_elapsed + (
+            time.perf_counter() - start
+        )
+        evaluator = self.evaluator
+        evaluator.advance_to(
+            evaluator.now + self.search.overhead.ask_cost(self.optimizer, len(batch))
+        )
+        if evaluator.now >= self.max_time:
+            self.finished = True
+            return None
+        self._pending_batch = batch
+        return batch
+
+    def submit_prepared(self, runtimes: Optional[Sequence[float]] = None) -> None:
+        """Submit the batch returned by :meth:`prepare_submit`."""
+        if self._pending_batch is None:
+            return
+        self._submit(self._pending_batch, runtimes)
+        self._pending_batch = None
+
+    def advance(self) -> bool:
+        """One full manager interaction; False once the campaign is over."""
+        if self.collect() is None:
+            return False
+        self.tell_collected()
+        self.ask_and_submit()
+        return True
+
+    # ------------------------------------------------------------------ misc
+    def _submit(
+        self,
+        batch: Sequence[Configuration],
+        runtimes: Optional[Sequence[float]] = None,
+    ) -> None:
+        evaluator = self.evaluator
+        evaluator.submit(batch, runtimes)
+        # Started evaluations come from the evaluator's own log — a shared
+        # service pool may start a queued request long after the submit call,
+        # so a before/after diff of pending evaluations would miss it.
+        self.intervals.extend(evaluator.drain_started_intervals())
+
+    def result(self) -> SearchResult:
+        """The :class:`SearchResult` of the (finished or in-flight) campaign."""
+        # Pick up evaluations a shared pool started from its queue after this
+        # campaign's last submit call.
+        self.intervals.extend(self.evaluator.drain_started_intervals())
+        best = self.history.best()
         return SearchResult(
-            history=history,
+            history=self.history,
             best_configuration=best.configuration if best else None,
             best_runtime=best.runtime if best else float("nan"),
             best_objective=best.objective if best else float("nan"),
-            num_evaluations=len(history),
-            worker_utilization=evaluator.utilization(max_time),
-            search_time=max_time,
-            num_workers=self.num_workers,
-            busy_intervals=intervals,
+            num_evaluations=len(self.history),
+            worker_utilization=self.evaluator.utilization(self.max_time),
+            search_time=self.max_time,
+            num_workers=self.search.num_workers,
+            busy_intervals=self.intervals,
         )
 
 

@@ -346,10 +346,56 @@ class _IndexedDiscreteMixin:
                 return i
         raise ValueError(f"{value!r} is not a value of {self.name}")  # type: ignore[attr-defined]
 
+    def unit_from_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Unit-interval encoding from precomputed domain indices.
+
+        Same arithmetic as ``to_unit_vec`` minus the index lookup, for
+        callers that already hold the indices (the :class:`ColumnBatch`
+        index cache).
+        """
+        return (indices + 0.5) / len(self._domain)
+
     def indices_vec(self, values: Sequence[Any]) -> np.ndarray:
-        """Indices of a column of values (vectorised lookup)."""
-        index_of = self.index_of
-        return np.fromiter((index_of(v) for v in values), dtype=np.intp, count=len(values))
+        """Indices of a column of values (vectorised lookup).
+
+        The common case — a column of plain scalars over a small domain — is
+        resolved with one ``==`` broadcast per domain value (first-wins order,
+        matching :meth:`index_of` even for cross-type equal values such as
+        ``True == 1``).  Values no domain comparison claims fall back to the
+        scalar :meth:`index_of`, which raises the usual error for unknowns.
+        This is the innermost loop of every candidate encoding, so it must not
+        cost a Python-level dict lookup per element.
+        """
+        n = len(values)
+        if n <= 16:
+            # Tiny columns (the tell path records one or two evaluations) are
+            # cheaper through the scalar lookup than through per-domain
+            # broadcasts.
+            index_of = self.index_of
+            return np.fromiter((index_of(v) for v in values), dtype=np.intp, count=n)
+        arr = values if isinstance(values, np.ndarray) else np.asarray(values, dtype=object)
+        out = np.full(n, -1, dtype=np.intp)
+        remaining = n
+        for i, domain_value in enumerate(self._domain):
+            try:
+                matches = arr == domain_value
+                if np.shape(matches) != (n,):
+                    raise TypeError("non-broadcastable comparison")
+                matches = np.asarray(matches, dtype=bool)
+            except (TypeError, ValueError):
+                # Exotic domain (e.g. array-valued categories): broadcast
+                # comparison is unusable, resolve everything element-wise.
+                return np.fromiter(
+                    (self.index_of(v) for v in values), dtype=np.intp, count=n
+                )
+            matches &= out < 0
+            out[matches] = i
+            remaining -= int(np.count_nonzero(matches))
+            if remaining == 0:
+                return out
+        for j in np.flatnonzero(out < 0):
+            out[j] = self.index_of(arr[j])
+        return out
 
 
 class CategoricalParameter(_IndexedDiscreteMixin, Parameter):
@@ -492,7 +538,7 @@ class ColumnBatch:
     for the few candidates it actually proposes.
     """
 
-    __slots__ = ("space", "_columns", "_n")
+    __slots__ = ("space", "_columns", "_n", "_indices")
 
     def __init__(self, space: "SearchSpace", columns: Mapping[str, np.ndarray]):
         self.space = space
@@ -510,6 +556,18 @@ class ColumnBatch:
                 raise ValueError("all columns must have equal length")
             self._columns[p.name] = col
         self._n = int(n or 0)
+        # Memoised domain-index columns of discrete parameters: every encoding
+        # of a batch needs them, so they are resolved at most once per batch
+        # (and sliced, not recomputed, through take()).
+        self._indices: Dict[str, np.ndarray] = {}
+
+    def discrete_indices(self, param: "Parameter") -> np.ndarray:
+        """Domain indices of a categorical/ordinal column (memoised)."""
+        cached = self._indices.get(param.name)
+        if cached is None:
+            cached = param.indices_vec(self._columns[param.name])
+            self._indices[param.name] = cached
+        return cached
 
     # ---------------------------------------------------------------- dunders
     def __len__(self) -> int:
@@ -525,12 +583,28 @@ class ColumnBatch:
         """The column of parameter ``name``."""
         return self._columns[name]
 
+    @classmethod
+    def _trusted(
+        cls, space: "SearchSpace", columns: Dict[str, np.ndarray], n: int
+    ) -> "ColumnBatch":
+        """Construct without re-validating columns the space already produced."""
+        batch = cls.__new__(cls)
+        batch.space = space
+        batch._columns = columns
+        batch._n = n
+        batch._indices = {}
+        return batch
+
     def take(self, indices: Union[Sequence[int], np.ndarray]) -> "ColumnBatch":
         """A new batch holding the rows at ``indices`` (in that order)."""
         idx = np.asarray(indices, dtype=np.intp)
-        return ColumnBatch(
-            self.space, {name: col[idx] for name, col in self._columns.items()}
+        batch = ColumnBatch._trusted(
+            self.space,
+            {name: col[idx] for name, col in self._columns.items()},
+            int(idx.shape[0]),
         )
+        batch._indices = {name: arr[idx] for name, arr in self._indices.items()}
+        return batch
 
     def row(self, i: int) -> Configuration:
         """Materialise row ``i`` as a plain-dict configuration."""
@@ -761,12 +835,30 @@ class SearchSpace:
         return len(configs), columns
 
     # -------------------------------------------------------------- encodings
+    @staticmethod
+    def _is_tiny_rows(configs: ConfigsLike) -> bool:
+        """Whether ``configs`` is a short row-major list worth a scalar path.
+
+        The asynchronous tell path encodes one or two configurations per
+        manager interaction; building per-parameter columns for those costs
+        more than the encoding itself.
+        """
+        return (
+            isinstance(configs, (list, tuple))
+            and 0 < len(configs) <= 4
+            and isinstance(configs[0], Mapping)
+        )
+
     def to_unit_array(self, configs: ConfigsLike) -> np.ndarray:
         """Encode configurations into the unit hypercube (one row per config)."""
+        batch = configs if isinstance(configs, ColumnBatch) else None
         n, columns = self._column_values(configs)
         arr = np.empty((n, len(self._params)), dtype=float)
         for j, (p, col) in enumerate(zip(self._params, columns)):
-            arr[:, j] = p.to_unit_vec(col)
+            if batch is not None and isinstance(p, _IndexedDiscreteMixin):
+                arr[:, j] = p.unit_from_indices(batch.discrete_indices(p))
+            else:
+                arr[:, j] = p.to_unit_vec(col)
         return arr
 
     def from_unit_array(self, arr: np.ndarray) -> List[Configuration]:
@@ -795,12 +887,30 @@ class SearchSpace:
         a non-positive out-of-domain value can never silently mix a
         linear-scale number into an otherwise log-scale column.
         """
+        if self._is_tiny_rows(configs):
+            # Row path for one-or-two-row inputs (the tell hot path): scalar
+            # NumPy ufuncs hit the same libm kernels as the column ops, so
+            # the cells are bit-identical to the columnar encoding at a
+            # fraction of the per-column overhead.
+            arr = np.empty((len(configs), len(self._params)), dtype=float)
+            for i, config in enumerate(configs):
+                for j, p in enumerate(self._params):
+                    v = config[p.name]
+                    if isinstance(p, (RealParameter, IntegerParameter)):
+                        x = np.float64(v)
+                        arr[i, j] = np.log(np.maximum(x, p.low)) if p.log else x
+                    else:
+                        arr[i, j] = p.index_of(v)
+            return arr
+        batch = configs if isinstance(configs, ColumnBatch) else None
         n, columns = self._column_values(configs)
         arr = np.empty((n, len(self._params)), dtype=float)
         for j, (p, col) in enumerate(zip(self._params, columns)):
             if isinstance(p, (RealParameter, IntegerParameter)):
                 v = np.asarray(col, dtype=float)
                 arr[:, j] = np.log(np.maximum(v, p.low)) if p.log else v
+            elif batch is not None:
+                arr[:, j] = batch.discrete_indices(p)
             else:
                 arr[:, j] = p.indices_vec(col)
         return arr
@@ -822,14 +932,21 @@ class SearchSpace:
         unit interval); each categorical parameter expands into one column per
         category.
         """
+        batch = configs if isinstance(configs, ColumnBatch) else None
         n, columns = self._column_values(configs)
         arr = np.zeros((n, self.one_hot_dimension()), dtype=float)
         rows = np.arange(n)
         col = 0
         for p, values in zip(self._params, columns):
             if isinstance(p, CategoricalParameter):
-                arr[rows, col + p.indices_vec(values)] = 1.0
+                indices = (
+                    batch.discrete_indices(p) if batch is not None else p.indices_vec(values)
+                )
+                arr[rows, col + indices] = 1.0
                 col += len(p.categories)
+            elif batch is not None and isinstance(p, _IndexedDiscreteMixin):
+                arr[:, col] = p.unit_from_indices(batch.discrete_indices(p))
+                col += 1
             else:
                 arr[:, col] = p.to_unit_vec(values)
                 col += 1
@@ -844,11 +961,24 @@ class SearchSpace:
         last ulp between code paths); discrete parameters contribute their
         index.  ``row.tobytes()`` of a row is therefore a stable dedup key.
         """
+        if self._is_tiny_rows(configs):
+            arr = np.empty((len(configs), len(self._params)), dtype=float)
+            for i, config in enumerate(configs):
+                for j, p in enumerate(self._params):
+                    v = config[p.name]
+                    if isinstance(p, (RealParameter, IntegerParameter)):
+                        arr[i, j] = np.float64(v)
+                    else:
+                        arr[i, j] = p.index_of(v)
+            return arr
+        batch = configs if isinstance(configs, ColumnBatch) else None
         n, columns = self._column_values(configs)
         arr = np.empty((n, len(self._params)), dtype=float)
         for j, (p, col) in enumerate(zip(self._params, columns)):
             if isinstance(p, (RealParameter, IntegerParameter)):
                 arr[:, j] = np.asarray(col, dtype=float)
+            elif batch is not None:
+                arr[:, j] = batch.discrete_indices(p)
             else:
                 arr[:, j] = p.indices_vec(col)
         return arr

@@ -23,7 +23,7 @@ common :class:`~repro.frameworks.base.Framework` interface:
   HiPerBOt paper.
 """
 
-from repro.frameworks.base import Framework, FrameworkResult
+from repro.frameworks.base import Framework, FrameworkResult, run_framework_suite
 from repro.frameworks.random_search import RandomSearch
 from repro.frameworks.deephyper_like import DeepHyperSearch
 from repro.frameworks.gptune_like import GPTuneLike
@@ -36,4 +36,5 @@ __all__ = [
     "GPTuneLike",
     "HiPerBOtLike",
     "RandomSearch",
+    "run_framework_suite",
 ]

@@ -64,14 +64,9 @@ class DeepHyperSearch(Framework):
         self.refit_interval = int(refit_interval)
         self.name = f"DH{self.num_workers}W"
 
-    def run(
-        self,
-        max_time: float,
-        initial_configurations: Optional[Sequence[Configuration]] = None,
-        source_history: Optional[SearchHistory] = None,
-    ) -> FrameworkResult:
-        """Run the asynchronous search, with VAE-ABO TL if a source is given."""
-        search = VAEABOSearch(
+    def build_search(self, source_history: Optional[SearchHistory] = None) -> VAEABOSearch:
+        """The underlying asynchronous search (multi-campaign-runner hook)."""
+        return VAEABOSearch(
             self.space,
             self.run_function,
             source_history=source_history,
@@ -84,10 +79,21 @@ class DeepHyperSearch(Framework):
             objective=self.objective,
             seed=self.seed,
         )
+
+    def result_name(self, source_history: Optional[SearchHistory] = None) -> str:
+        return self.name if source_history is None else f"TL-{self.name}"
+
+    def run(
+        self,
+        max_time: float,
+        initial_configurations: Optional[Sequence[Configuration]] = None,
+        source_history: Optional[SearchHistory] = None,
+    ) -> FrameworkResult:
+        """Run the asynchronous search, with VAE-ABO TL if a source is given."""
+        search = self.build_search(source_history)
         result = search.run(max_time=max_time, initial_configurations=initial_configurations)
-        name = self.name if source_history is None else f"TL-{self.name}"
         return FrameworkResult.from_history(
-            name,
+            self.result_name(source_history),
             result.history,
             search_time=max_time,
             worker_utilization=result.worker_utilization,

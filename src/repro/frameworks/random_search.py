@@ -45,14 +45,12 @@ class RandomSearch(Framework):
         self.num_workers = int(num_workers)
         self.failure_duration = float(failure_duration)
 
-    def run(
-        self,
-        max_time: float,
-        initial_configurations: Optional[Sequence[Configuration]] = None,
-        source_history: Optional[SearchHistory] = None,
-    ) -> FrameworkResult:
-        """Run random sampling; ``source_history`` is ignored (no TL support)."""
-        search = CBOSearch(
+    def build_search(self, source_history: Optional[SearchHistory] = None) -> CBOSearch:
+        """The underlying random-sampling search (multi-campaign-runner hook).
+
+        ``source_history`` is ignored — random search has no transfer mode.
+        """
+        return CBOSearch(
             self.space,
             self.run_function,
             num_workers=self.num_workers,
@@ -62,6 +60,15 @@ class RandomSearch(Framework):
             objective=self.objective,
             seed=self.seed,
         )
+
+    def run(
+        self,
+        max_time: float,
+        initial_configurations: Optional[Sequence[Configuration]] = None,
+        source_history: Optional[SearchHistory] = None,
+    ) -> FrameworkResult:
+        """Run random sampling; ``source_history`` is ignored (no TL support)."""
+        search = self.build_search()
         result = search.run(max_time=max_time, initial_configurations=initial_configurations)
         return FrameworkResult.from_history(
             self.name,

@@ -1,0 +1,20 @@
+"""Service-scale campaign execution: shared worker pools and batch runners.
+
+This package opens the fleet scenario of the roadmap — many concurrent
+autotuning campaigns against shared evaluation capacity:
+
+* :class:`~repro.service.evaluator.SharedWorkerPool` /
+  :class:`~repro.service.evaluator.ServiceEvaluator` — a queue-based
+  evaluation backend speaking the same ``submit``/``collect``/``wait_any``
+  protocol as the private
+  :class:`~repro.core.evaluator.AsyncVirtualEvaluator`, so campaigns can
+  target a shared service fleet via ``CBOSearch(evaluator_factory=...)``;
+* :class:`~repro.service.runner.CampaignRunner` — N campaigns advanced in
+  lock-step batch ticks over one event loop, with the due random-forest
+  refits of each tick fused into a single bit-identical fleet fit.
+"""
+
+from repro.service.evaluator import ServiceEvaluator, SharedWorkerPool
+from repro.service.runner import CampaignRunner, CampaignSpec
+
+__all__ = ["ServiceEvaluator", "SharedWorkerPool", "CampaignRunner", "CampaignSpec"]

@@ -1,0 +1,374 @@
+"""Service-style evaluation backend: a shared virtual-time worker pool.
+
+The paper's deployment model is one shared HEPnOS service consumed by many
+clients; the scale-out equivalent for the reproduction is many concurrent
+autotuning campaigns submitting evaluation requests to one worker fleet
+instead of each owning private workers.
+
+:class:`SharedWorkerPool` owns the workers, the virtual clock and a FIFO
+request queue; :class:`ServiceEvaluator` is one campaign's client view of the
+pool, implementing the same ``submit`` / ``collect`` / ``wait_any`` protocol
+as :class:`~repro.core.evaluator.AsyncVirtualEvaluator` so a
+:class:`~repro.core.search.CBOSearch` can target either backend unchanged
+(via its ``evaluator_factory`` parameter).  Differences from the private
+evaluator:
+
+* requests beyond the pool's idle capacity are **queued** (a service accepts
+  work) instead of dropped, and start the moment a worker frees up;
+* several clients may share one pool, in which case they also share the
+  virtual clock — the natural timeline of a shared service.
+
+A :class:`ServiceEvaluator` with a **private** pool is behaviourally
+identical to :class:`AsyncVirtualEvaluator` for any driver that submits at
+most ``num_idle`` configurations at a time (as the search loop does); the
+property-based test suite pins this protocol equivalence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.core.evaluator import (
+    DEFAULT_FAILURE_DURATION,
+    CompletedEvaluation,
+    PendingEvaluation,
+    WorkerState,
+    resolve_duration,
+)
+from repro.core.space import Configuration
+
+__all__ = ["SharedWorkerPool", "ServiceEvaluator"]
+
+
+class SharedWorkerPool:
+    """A virtual-time worker fleet shared by one or more evaluator clients.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of workers in the pool (the service's capacity).
+    """
+
+    def __init__(self, num_workers: int = 128):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self.workers = [WorkerState(index=i) for i in range(self.num_workers)]
+        self.now = 0.0
+        self._seq = itertools.count()
+        #: Running evaluations: (pending, owner, sequence-number) triples.
+        self._running: List[Tuple[PendingEvaluation, "ServiceEvaluator", int]] = []
+        #: Requests accepted while no worker was idle, in arrival order; the
+        #: third element is the precomputed runtime (None → call the owner's
+        #: run function at dispatch time).
+        self._queue: Deque[Tuple["ServiceEvaluator", Configuration, Optional[float]]] = deque()
+        self.clients: List["ServiceEvaluator"] = []
+
+    # ------------------------------------------------------------------ state
+    def idle_workers(self) -> List[WorkerState]:
+        """Workers without a running evaluation."""
+        return [w for w in self.workers if w.evaluations_running == 0]
+
+    @property
+    def num_idle(self) -> int:
+        """Number of idle workers."""
+        return len(self.idle_workers())
+
+    @property
+    def num_pending(self) -> int:
+        """Number of evaluations currently running on the pool."""
+        return len(self._running)
+
+    @property
+    def num_queued(self) -> int:
+        """Number of accepted requests waiting for a worker."""
+        return len(self._queue)
+
+    def next_completion_time(self) -> float:
+        """Completion time of the earliest running evaluation (inf if none)."""
+        if not self._running:
+            return float("inf")
+        return min(p.completes_at for p, _, _ in self._running)
+
+    def advance_to(self, time: float) -> None:
+        """Move the shared clock forward (never backwards)."""
+        if time < self.now:
+            raise ValueError(f"cannot move time backwards ({time} < {self.now})")
+        self.now = time
+
+    # ------------------------------------------------------------- scheduling
+    def evaluator_factory(self) -> Callable:
+        """A ``(run_function, num_workers, failure_duration) → evaluator``
+        factory binding new :class:`ServiceEvaluator` clients to this pool
+        (the ``num_workers`` argument is ignored — capacity belongs to the
+        pool).  Plugs straight into ``CBOSearch(evaluator_factory=...)``.
+        """
+
+        def factory(run_function, num_workers, failure_duration):
+            return ServiceEvaluator(
+                run_function, pool=self, failure_duration=failure_duration
+            )
+
+        return factory
+
+    def _start(
+        self,
+        client: "ServiceEvaluator",
+        config: Configuration,
+        at_time: float,
+        worker: WorkerState,
+        runtime: Optional[float] = None,
+    ) -> PendingEvaluation:
+        runtime = float(client.run_function(config) if runtime is None else runtime)
+        duration = client._duration(config, runtime)
+        pending = PendingEvaluation(
+            configuration=dict(config),
+            worker=worker.index,
+            submitted=at_time,
+            completes_at=at_time + duration,
+            runtime=runtime,
+        )
+        worker.evaluations_running += 1
+        worker.busy_until = at_time + duration
+        worker.busy_time += duration
+        worker.evaluations += 1
+        self._running.append((pending, client, next(self._seq)))
+        client._own_running.append(pending)
+        client.num_submitted += 1
+        client._started_intervals.append((at_time, at_time + duration))
+        return pending
+
+    def submit(self, client: "ServiceEvaluator", configurations, runtimes=None) -> int:
+        """Accept requests from ``client``: start on idle workers, queue the rest."""
+        if runtimes is not None and len(runtimes) != len(configurations):
+            raise ValueError("runtimes and configurations must have equal length")
+        accepted = 0
+        idle = deque(self.idle_workers())
+        for i, config in enumerate(configurations):
+            runtime = None if runtimes is None else runtimes[i]
+            if idle:
+                self._start(client, config, self.now, idle.popleft(), runtime)
+            else:
+                self._queue.append((client, dict(config), runtime))
+            accepted += 1
+        return accepted
+
+    def process_until(self, horizon: float) -> None:
+        """Fire every completion at or before ``horizon``.
+
+        Completions fire in ``(completion time, submission order)`` order;
+        each freed worker immediately picks up the oldest queued request,
+        which starts at the freeing completion's time (and may itself
+        complete within the horizon).
+        """
+        while self._running:
+            pos = min(
+                range(len(self._running)),
+                key=lambda i: (self._running[i][0].completes_at, self._running[i][2]),
+            )
+            pending, owner, _ = self._running[pos]
+            if pending.completes_at > horizon:
+                break
+            del self._running[pos]
+            worker = self.workers[pending.worker]
+            worker.evaluations_running -= 1
+            owner._own_running.remove(pending)
+            owner._done.append(
+                CompletedEvaluation(
+                    configuration=pending.configuration,
+                    worker=pending.worker,
+                    submitted=pending.submitted,
+                    completed=pending.completes_at,
+                    runtime=pending.runtime,
+                )
+            )
+            if self._queue and worker.evaluations_running == 0:
+                next_client, next_config, next_runtime = self._queue.popleft()
+                self._start(
+                    next_client, next_config, pending.completes_at, worker, next_runtime
+                )
+
+    # ------------------------------------------------------------------ stats
+    def utilization(self, horizon: float) -> float:
+        """Fraction of pool worker time spent evaluating within ``[0, horizon]``.
+
+        Same estimate as
+        :meth:`~repro.core.evaluator.AsyncVirtualEvaluator.utilization`:
+        evaluations still running at the horizon contribute only the portion
+        before it.
+        """
+        if horizon <= 0:
+            return 0.0
+        total_busy = 0.0
+        for worker in self.workers:
+            over = max(0.0, worker.busy_until - horizon)
+            total_busy += max(0.0, worker.busy_time - over)
+        return float(total_busy / (horizon * self.num_workers))
+
+
+class ServiceEvaluator:
+    """One campaign's client of a (possibly shared) :class:`SharedWorkerPool`.
+
+    Implements the asynchronous evaluation protocol of
+    :class:`~repro.core.evaluator.AsyncVirtualEvaluator` — ``submit``,
+    ``collect``, ``wait_any``, ``next_completion_time``, ``advance_to``,
+    ``num_idle`` / ``num_pending`` / ``pending_evaluations`` and
+    ``utilization`` — against a worker pool that may be serving other
+    campaigns concurrently.
+
+    Parameters
+    ----------
+    run_function:
+        Configuration → measured run time in seconds (NaN for failures).
+    pool:
+        The worker pool to join; ``None`` creates a private pool of
+        ``num_workers`` (making this evaluator behaviourally identical to
+        the private :class:`AsyncVirtualEvaluator`).
+    num_workers:
+        Capacity of the private pool when ``pool`` is ``None``.
+    failure_duration:
+        Virtual time a failed evaluation occupies its worker.
+    duration_function:
+        Optional override mapping ``(configuration, runtime)`` to the
+        evaluation's virtual duration.
+    """
+
+    def __init__(
+        self,
+        run_function: Callable[[Configuration], float],
+        pool: Optional[SharedWorkerPool] = None,
+        num_workers: int = 128,
+        failure_duration: float = DEFAULT_FAILURE_DURATION,
+        duration_function: Optional[Callable[[Configuration, float], float]] = None,
+    ):
+        if failure_duration <= 0:
+            raise ValueError("failure_duration must be positive")
+        self.run_function = run_function
+        self.pool = pool if pool is not None else SharedWorkerPool(num_workers)
+        self.failure_duration = float(failure_duration)
+        self.duration_function = duration_function
+        self.num_submitted = 0
+        self.num_collected = 0
+        self._own_running: List[PendingEvaluation] = []
+        self._done: List[CompletedEvaluation] = []
+        self._started_intervals: List[Tuple[float, float]] = []
+        self.pool.clients.append(self)
+
+    # ----------------------------------------------------------- delegations
+    @property
+    def num_workers(self) -> int:
+        """Capacity of the underlying pool."""
+        return self.pool.num_workers
+
+    @property
+    def workers(self) -> List[WorkerState]:
+        """The pool's worker states."""
+        return self.pool.workers
+
+    @property
+    def now(self) -> float:
+        """The shared virtual clock."""
+        return self.pool.now
+
+    def advance_to(self, time: float) -> None:
+        """Move the shared clock forward (never backwards)."""
+        self.pool.advance_to(time)
+
+    def idle_workers(self) -> List[WorkerState]:
+        """Idle workers of the pool."""
+        return self.pool.idle_workers()
+
+    @property
+    def num_idle(self) -> int:
+        """Number of idle pool workers."""
+        return self.pool.num_idle
+
+    @property
+    def num_pending(self) -> int:
+        """Number of *this client's* evaluations currently running."""
+        return len(self._own_running)
+
+    @property
+    def num_queued(self) -> int:
+        """Number of this client's requests still waiting for a worker."""
+        return sum(1 for client, _, _ in self.pool._queue if client is self)
+
+    def pending_evaluations(self) -> Tuple[PendingEvaluation, ...]:
+        """Snapshot of this client's running evaluations (submission order)."""
+        return tuple(self._own_running)
+
+    def drain_started_intervals(self) -> List[Tuple[float, float]]:
+        """``(submitted, completes_at)`` of this client's evaluations started
+        since the last drain, in start order — includes requests that waited
+        in the queue and started when a worker freed up."""
+        started, self._started_intervals = self._started_intervals, []
+        return started
+
+    def _duration(self, config: Configuration, runtime: float) -> float:
+        return resolve_duration(
+            config, runtime, self.duration_function, self.failure_duration
+        )
+
+    # ------------------------------------------------------------- submission
+    def submit(self, configurations, runtimes=None) -> int:
+        """Send requests to the service at the current time.
+
+        Unlike the private evaluator — which drops configurations beyond its
+        idle capacity — the service **queues** them, so the return value is
+        the number of requests accepted (all of them).  ``runtimes``
+        optionally supplies precomputed measurements (see
+        :meth:`AsyncVirtualEvaluator.submit`).
+        """
+        return self.pool.submit(self, configurations, runtimes)
+
+    # -------------------------------------------------------------- collection
+    def next_completion_time(self) -> float:
+        """Completion time of this client's earliest running evaluation."""
+        if not self._own_running:
+            return float("inf")
+        return min(p.completes_at for p in self._own_running)
+
+    def collect(self, until: Optional[float] = None) -> List[CompletedEvaluation]:
+        """Collect this client's evaluations completed at or before ``until``.
+
+        ``until`` defaults to the current shared time.  The returned list is
+        ordered by completion time.
+        """
+        horizon = self.pool.now if until is None else until
+        self.pool.process_until(horizon)
+        ready = [c for c in self._done if c.completed <= horizon]
+        if not ready:
+            return []
+        self._done = [c for c in self._done if c.completed > horizon]
+        ready.sort(key=lambda c: c.completed)
+        self.num_collected += len(ready)
+        return ready
+
+    def wait_any(self, max_time: float) -> Tuple[float, List[CompletedEvaluation]]:
+        """Advance to this client's next completion (capped) and collect.
+
+        Completions of *other* clients sharing the pool are processed along
+        the way (freeing workers and draining the queue); the clock stops at
+        the first time this client has results, or at ``max_time``.
+        """
+        pool = self.pool
+        while True:
+            target = min(pool.next_completion_time(), max_time)
+            if target < pool.now:
+                target = pool.now
+            pool.advance_to(target)
+            collected = self.collect()
+            if collected or pool.now >= max_time or not pool._running:
+                return pool.now, collected
+
+    # ------------------------------------------------------------------ stats
+    def utilization(self, horizon: float) -> float:
+        """Pool-level utilisation within ``[0, horizon]``.
+
+        With a private pool this is exactly the private evaluator's metric;
+        with a shared pool it reflects the whole service (the per-campaign
+        share is not separable at the worker level).
+        """
+        return self.pool.utilization(horizon)

@@ -1,0 +1,264 @@
+"""Multi-campaign batch runner: many searches over one event loop.
+
+The paper's evaluation runs many asynchronous BO campaigns (setups ×
+methods × repetitions); executed naively they run strictly one after
+another, each paying its own Python/NumPy pass overhead per manager
+interaction.  :class:`CampaignRunner` instead advances N campaigns in
+lock-step *batch ticks* over their virtual-time evaluators:
+
+1. **collect** — every active campaign advances to its own next completion
+   event and records the finished evaluations;
+2. **tell** — the completions are ingested per campaign, and the due
+   random-forest surrogate refits are grouped into one
+   :func:`~repro.core.surrogate.random_forest.fit_forest_fleet` pass (the
+   per-level NumPy overhead — the dominant refit cost at campaign scale —
+   is paid once per tick instead of once per campaign);
+3. **ask** — every campaign proposes for its idle workers and submits.
+
+Because each campaign's operations run in exactly the order the sequential
+loop would run them, and the fleet fit is bit-identical per forest, the
+per-campaign :class:`~repro.core.search.SearchResult`\\ s are **bit-identical**
+to running the same seeds through ``CBOSearch.run`` one by one — the batch
+runner only changes wall-clock time (``benchmarks/bench_multi_campaign.py``
+measures the effect; the identity is pinned by the test suite).  One
+carve-out: campaigns using the opt-in ``overhead="measured"`` model charge
+their *measured* Python time as virtual overhead, and a batched fleet fit's
+wall-clock is shared rather than attributed per campaign, so measured-mode
+virtual timelines differ between the two executions (the default analytic
+model depends only on campaign state and is exactly identical).
+
+Campaigns may also share a :class:`~repro.service.SharedWorkerPool` through
+``CBOSearch(evaluator_factory=pool.evaluator_factory())``, in which case they
+compete for the same workers on one clock — the service deployment scenario
+(results then legitimately differ from private-worker runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.search import CampaignExecution, CBOSearch, SearchResult
+from repro.core.space import Configuration
+from repro.core.surrogate.random_forest import (
+    RandomForestSurrogate,
+    fit_forest_fleet,
+    fleet_compatibility_key,
+    predict_forest_fleet,
+)
+
+__all__ = ["CampaignSpec", "CampaignRunner"]
+
+
+@dataclass
+class CampaignSpec:
+    """One campaign to run: a configured search plus its run budget."""
+
+    search: CBOSearch
+    max_time: float = 3600.0
+    max_evaluations: Optional[int] = None
+    initial_configurations: Optional[Sequence[Configuration]] = None
+    label: str = ""
+
+
+class CampaignRunner:
+    """Run several independent campaigns concurrently over batch ticks.
+
+    Parameters
+    ----------
+    specs:
+        The campaigns to run (order is preserved in the results).
+    batch_surrogate_fits:
+        Group the due level-wise random-forest refits of one tick into a
+        single fleet fit (default).  ``False`` fits each campaign's surrogate
+        on its own — same results, sequential-fit wall-clock; kept selectable
+        so the benchmark can quantify the batching and the tests can compare
+        both paths.
+    batch_candidate_scoring:
+        Score the candidate pools of one tick's RF-backed asks in one fused
+        :func:`~repro.core.surrogate.random_forest.predict_forest_fleet`
+        traversal (default).  Bit-identical to per-campaign scoring.
+    run_batcher:
+        Optional service-style evaluation batcher: a callable receiving the
+        tick's submissions as ``[(spec_index, configurations), ...]`` and
+        returning the per-submission runtime lists, replacing the
+        per-configuration ``run_function`` calls inside ``submit``.  The
+        returned values must equal what each campaign's run function would
+        have produced (e.g.
+        :meth:`~repro.hep.surrogate_runtime.SurrogateRuntimeFleet.run_batch`,
+        which fuses the per-request surrogate-model inferences of all
+        campaigns into one vectorised pass).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[CampaignSpec],
+        batch_surrogate_fits: bool = True,
+        batch_candidate_scoring: bool = True,
+        run_batcher: Optional[Callable] = None,
+    ):
+        if not specs:
+            raise ValueError("need at least one campaign")
+        self.specs = list(specs)
+        self.batch_surrogate_fits = bool(batch_surrogate_fits)
+        self.batch_candidate_scoring = bool(batch_candidate_scoring)
+        self.run_batcher = run_batcher
+        #: Number of batch ticks executed by the last :meth:`run`.
+        self.num_ticks = 0
+        #: Number of fleet fits and of surrogates fitted through them.
+        self.num_fleet_fits = 0
+        self.num_fleet_fitted_surrogates = 0
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> List[SearchResult]:
+        """Execute all campaigns; per-spec results in spec order."""
+        batching_runs = self.run_batcher is not None
+        index_of: Dict[int, int] = {}
+        executions = [
+            spec.search.start(
+                max_time=spec.max_time,
+                max_evaluations=spec.max_evaluations,
+                initial_configurations=spec.initial_configurations,
+                defer_initial_submit=batching_runs,
+            )
+            for spec in self.specs
+        ]
+        index_of.update({id(execution): i for i, execution in enumerate(executions)})
+        if batching_runs:
+            # The initialisation batches of all campaigns in one evaluation
+            # pass (they are the largest submissions of the whole run).
+            initial = [
+                (i, execution._pending_batch)
+                for i, execution in enumerate(executions)
+                if execution._pending_batch
+            ]
+            if initial:
+                runtimes = self._run_batch(initial)
+                for (i, _), values in zip(initial, runtimes):
+                    executions[i].submit_prepared(values)
+        self.num_ticks = 0
+        self.num_fleet_fits = 0
+        self.num_fleet_fitted_surrogates = 0
+
+        active = list(executions)
+        while active:
+            self.num_ticks += 1
+            ticking: List[CampaignExecution] = []
+            fit_due: List[CampaignExecution] = []
+            for execution in active:
+                if execution.collect() is None:
+                    continue
+                if execution.ingest_collected():
+                    if self.batch_surrogate_fits and self._fleet_eligible(execution):
+                        fit_due.append(execution)
+                    else:
+                        execution.optimizer.fit_now()
+                execution.charge_tell()
+                ticking.append(execution)
+            self._fit_fleet(fit_due)
+
+            # ---- ask: candidate generation per campaign, fused scoring
+            pairs = [(execution, execution.begin_ask()) for execution in ticking]
+            scored: Dict[int, Tuple] = {}
+            if self.batch_candidate_scoring:
+                fused = [
+                    (execution, prepared)
+                    for execution, prepared in pairs
+                    if prepared is not None
+                    and prepared.proposals is None
+                    and prepared.wants_scores
+                    and isinstance(execution.optimizer.surrogate, RandomForestSurrogate)
+                ]
+                # Campaigns may tune different spaces: fuse only pools of
+                # equal encoded width (the traversal stacks the matrices).
+                by_width: Dict[int, List[Tuple[CampaignExecution, object]]] = {}
+                for execution, prepared in fused:
+                    by_width.setdefault(int(prepared.encoded.shape[1]), []).append(
+                        (execution, prepared)
+                    )
+                for group in by_width.values():
+                    if len(group) < 2:
+                        continue
+                    results = predict_forest_fleet(
+                        [
+                            (execution.optimizer.surrogate, prepared.encoded)
+                            for execution, prepared in group
+                        ]
+                    )
+                    scored.update(
+                        (id(execution), result)
+                        for (execution, _), result in zip(group, results)
+                    )
+
+            # ---- submit: batch the run-function calls when a batcher is given
+            submissions: List[Tuple[int, CampaignExecution, List[Configuration]]] = []
+            for execution, prepared in pairs:
+                scores = scored.get(id(execution))
+                if scores is not None:
+                    batch = execution.finish_ask(*scores)
+                else:
+                    batch = execution.finish_ask()
+                if batch is not None:
+                    submissions.append((index_of[id(execution)], execution, batch))
+            if self.run_batcher is not None and submissions:
+                runtimes = self._run_batch(
+                    [(idx, batch) for idx, _, batch in submissions]
+                )
+                for (_, execution, _), values in zip(submissions, runtimes):
+                    execution.submit_prepared(values)
+            else:
+                for _, execution, _ in submissions:
+                    execution.submit_prepared()
+            active = [execution for execution in ticking if not execution.finished]
+        return [execution.result() for execution in executions]
+
+    # ------------------------------------------------------------ run batches
+    def _run_batch(self, requests: List[Tuple[int, List[Configuration]]]) -> List:
+        """Invoke the run batcher and validate its result shape.
+
+        A silently short or misaligned result would pair campaigns with each
+        other's runtimes — fail loudly instead.
+        """
+        runtimes = self.run_batcher(requests)
+        if len(runtimes) != len(requests):
+            raise ValueError(
+                f"run_batcher returned {len(runtimes)} runtime lists for "
+                f"{len(requests)} submissions"
+            )
+        return runtimes
+
+    # ------------------------------------------------------------ fleet fits
+    @staticmethod
+    def _fleet_eligible(execution: CampaignExecution) -> bool:
+        surrogate = execution.optimizer.surrogate
+        return (
+            isinstance(surrogate, RandomForestSurrogate)
+            and surrogate.fit_algorithm == "levelwise"
+        )
+
+    def _fit_fleet(self, fit_due: List[CampaignExecution]) -> None:
+        """Fit the due RF surrogates, grouped by compatible hyperparameters."""
+        groups: Dict[Tuple, List[CampaignExecution]] = {}
+        for execution in fit_due:
+            surrogate = execution.optimizer.surrogate
+            X, _ = execution.optimizer.training_data()
+            key = fleet_compatibility_key(surrogate, X.shape[1])
+            groups.setdefault(key, []).append(execution)
+        for group in groups.values():
+            seen_ids = {id(execution.optimizer.surrogate) for execution in group}
+            if len(group) == 1 or len(seen_ids) != len(group):
+                # A single campaign (or a degenerate shared-surrogate setup):
+                # the sequential path is the fleet of one.
+                for execution in group:
+                    execution.optimizer.fit_now()
+                continue
+            fit_forest_fleet(
+                [
+                    (execution.optimizer.surrogate, *execution.optimizer.training_data())
+                    for execution in group
+                ]
+            )
+            for execution in group:
+                execution.optimizer.mark_fitted()
+            self.num_fleet_fits += 1
+            self.num_fleet_fitted_surrogates += len(group)

@@ -160,3 +160,61 @@ class TestFigures:
         assert series["toy"]["no_tl"]["time"].shape == (10,)
         text = fig3_table(chain, sample_times=(100.0, 400.0))
         assert "toy" in text and "best@100s" in text
+
+
+class TestFig3TableRegression:
+    def test_fig3_table_matches_per_time_best_runtime_reference(self, small_campaign):
+        """The one-call ``incumbent_at`` rewrite must not change the table.
+
+        The reference below is the previous implementation: one
+        ``best_runtime_at`` history scan per (repetition, sample time).
+        """
+        from repro.analysis.figures import AggregatedMetrics, format_table
+
+        chain = {"toy": {"no_tl": small_campaign}}
+        sample_times = (150.0, 300.0, BUDGET, 2 * BUDGET)
+
+        headers = ["setup", "variant"] + [f"best@{int(t)}s" for t in sample_times]
+        rows = []
+        for setup, entry in chain.items():
+            for variant, campaign in entry.items():
+                row = [setup, variant]
+                for t in sample_times:
+                    values = [
+                        r.history.best_runtime_at(min(t, campaign.max_time))
+                        for r in campaign.results
+                    ]
+                    row.append(AggregatedMetrics.from_values(values))
+                rows.append(row)
+        reference = format_table(headers, rows)
+
+        assert fig3_table(chain, sample_times=sample_times) == reference
+
+
+class TestBatchedRepeatedSearch:
+    def test_batched_runner_repetitions_match_sequential(self):
+        kwargs = dict(
+            label="RF",
+            setup="toy",
+            repetitions=3,
+            max_time=400.0,
+            num_workers=4,
+            seed=7,
+        )
+        sequential = run_repeated_search(toy_space(), toy_runtime, **kwargs)
+        batched = run_repeated_search(
+            toy_space(), toy_runtime, runner="batched", **kwargs
+        )
+        assert len(batched.results) == 3
+        for a, b in zip(sequential.results, batched.results):
+            assert [e.configuration for e in a.history] == [
+                e.configuration for e in b.history
+            ]
+            assert a.busy_intervals == b.busy_intervals
+            assert a.worker_utilization == b.worker_utilization
+
+    def test_unknown_runner_rejected(self):
+        with pytest.raises(ValueError):
+            run_repeated_search(
+                toy_space(), toy_runtime, label="RF", repetitions=1, runner="threads"
+            )

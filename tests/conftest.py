@@ -1,0 +1,21 @@
+"""Shared test configuration: Hypothesis profiles.
+
+Three profiles control how many examples the property-based tests draw:
+
+* ``dev`` (default) — quick local iteration;
+* ``ci`` — what the CI workflow runs (more examples, no deadline so shared
+  runners do not flake);
+* ``thorough`` — an occasional deep sweep.
+
+Select with ``REPRO_HYPOTHESIS_PROFILE=ci pytest ...``.  Tests that pin their
+own ``@settings(max_examples=...)`` keep their explicit budget.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=60, deadline=None)
+settings.register_profile("thorough", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,104 @@
+"""Sharded candidate scoring must be invisible in the proposals.
+
+``BayesianOptimizer(score_shards=k)`` splits the candidate matrix into ``k``
+row-contiguous shards, scores them separately (optionally on an executor)
+and concatenates.  RF and GP predictions are row-local, so any shard count
+must produce **bit-identical** proposal trajectories — mirroring the
+``incremental=False`` regression style of ``test_optimizer_incremental``.
+"""
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import BayesianOptimizer
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    RealParameter,
+    SearchSpace,
+)
+
+
+def make_space():
+    return SearchSpace(
+        [
+            IntegerParameter("batch", 1, 2048, log=True),
+            RealParameter("rate", 0.5, 100.0, log=True),
+            RealParameter("fraction", -1.0, 1.0),
+            CategoricalParameter("pool", ("fifo", "fifo_wait", "prio_wait")),
+            OrdinalParameter("pes", (1, 2, 4, 8, 16, 32)),
+            CategoricalParameter.boolean("busy"),
+        ]
+    )
+
+
+def fake_objective(config):
+    value = -abs(math.log(config["batch"]) - 3.0) - abs(config["fraction"])
+    value -= 0.1 * config["pes"]
+    if config["pool"] == "fifo":
+        value += 0.25
+    return value
+
+
+def run_ask_tell(score_shards, surrogate, seed, rounds=7, batch=4, executor=None):
+    opt = BayesianOptimizer(
+        make_space(),
+        surrogate=surrogate,
+        num_candidates=96,
+        n_initial_points=5,
+        score_shards=score_shards,
+        score_executor=executor,
+        seed=seed,
+    )
+    trajectory = []
+    for _ in range(rounds):
+        proposals = opt.ask(batch)
+        trajectory.append(proposals)
+        opt.tell(proposals, [fake_objective(c) for c in proposals])
+    return trajectory
+
+
+class TestShardedAskIdentity:
+    @pytest.mark.parametrize("surrogate", ["RF", "GP"])
+    @given(shards=st.integers(min_value=2, max_value=9), seed=st.integers(0, 2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_any_shard_count_is_bit_identical(self, surrogate, shards, seed):
+        reference = run_ask_tell(1, surrogate, seed)
+        sharded = run_ask_tell(shards, surrogate, seed)
+        assert sharded == reference  # values, types and order
+
+    @pytest.mark.parametrize("surrogate", ["RF", "GP"])
+    def test_executor_mapped_shards_are_bit_identical(self, surrogate):
+        reference = run_ask_tell(1, surrogate, seed=5)
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            sharded = run_ask_tell(4, surrogate, seed=5, executor=executor)
+        assert sharded == reference
+
+    def test_more_shards_than_candidates_is_safe(self):
+        # score_shards above the pool size degrades to one row per shard.
+        reference = run_ask_tell(1, "RF", seed=9)
+        sharded = run_ask_tell(500, "RF", seed=9)
+        assert sharded == reference
+
+    def test_predict_candidates_concatenation_matches_single_call(self):
+        space = make_space()
+        opt = BayesianOptimizer(space, n_initial_points=5, seed=0)
+        rng = np.random.default_rng(0)
+        configs = space.sample(40, rng)
+        opt.tell(configs, [fake_objective(c) for c in configs])
+        encoded = space.to_numeric_array(space.sample_columns(128, rng))
+        mean_ref, std_ref = opt.surrogate.predict(encoded)
+        for shards in (2, 3, 7):
+            opt.score_shards = shards
+            mean, std = opt._predict_candidates(encoded)
+            assert np.array_equal(mean, mean_ref)
+            assert np.array_equal(std, std_ref)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(make_space(), score_shards=0)

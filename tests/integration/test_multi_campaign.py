@@ -1,0 +1,99 @@
+"""Full-size multi-campaign acceptance: 8 concurrent campaigns, bit-identical.
+
+This is the service layer's acceptance criterion at full size: a
+:class:`~repro.service.CampaignRunner` driving 8 concurrent campaigns over
+the real 20-parameter HEP space — with fleet surrogate fits, fused candidate
+scoring and batched run-function evaluation all on — produces per-campaign
+results bit-identical to 8 sequential ``CBOSearch.run`` calls with the same
+seeds.  Marked ``slow``: CI runs it full-size, local quick loops can skip it
+with ``-m "not slow"`` (a reduced-size version of the same property runs in
+``tests/service/test_runner.py``).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.search import CBOSearch
+from repro.core.surrogate import RandomForestSurrogate
+from repro.hep import HEPWorkflowProblem
+from repro.hep.surrogate_runtime import SurrogateRuntime, SurrogateRuntimeFleet
+from repro.service import CampaignRunner, CampaignSpec
+
+NUM_CAMPAIGNS = 8
+NUM_WORKERS = 16
+MAX_EVALUATIONS = 48
+NUM_CANDIDATES = 64
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return HEPWorkflowProblem.from_setup("4n-2s-20p", seed=1)
+
+
+@pytest.fixture(scope="module")
+def application_model(problem):
+    rng = np.random.default_rng(7)
+    configs = problem.space.sample(140, rng)
+    runtimes = np.exp(rng.normal(4.5, 0.6, size=len(configs)))
+    return SurrogateRuntime.from_data(problem.space, configs, runtimes, seed=7)
+
+
+def make_runtimes(problem, base):
+    return [
+        SurrogateRuntime(problem.space, base.forest, noise=0.02, seed=200 + i)
+        for i in range(NUM_CAMPAIGNS)
+    ]
+
+
+def make_search(problem, run_function, seed):
+    return CBOSearch(
+        problem.space,
+        run_function,
+        num_workers=NUM_WORKERS,
+        surrogate=RandomForestSurrogate(n_estimators=8, seed=seed),
+        num_candidates=NUM_CANDIDATES,
+        n_initial_points=6,
+        seed=seed,
+    )
+
+
+@pytest.mark.slow
+def test_eight_concurrent_campaigns_bit_identical_to_sequential(problem, application_model):
+    sequential = [
+        make_search(problem, run_function, seed).run(
+            max_time=float("inf"), max_evaluations=MAX_EVALUATIONS
+        )
+        for seed, run_function in enumerate(make_runtimes(problem, application_model))
+    ]
+
+    runtimes = make_runtimes(problem, application_model)
+    fleet = SurrogateRuntimeFleet(runtimes)
+    specs = [
+        CampaignSpec(
+            search=make_search(problem, runtimes[seed], seed),
+            max_time=float("inf"),
+            max_evaluations=MAX_EVALUATIONS,
+            label=f"campaign-{seed}",
+        )
+        for seed in range(NUM_CAMPAIGNS)
+    ]
+    runner = CampaignRunner(specs, run_batcher=fleet.run_batch)
+    batched = runner.run()
+
+    assert len(batched) == NUM_CAMPAIGNS
+    assert runner.num_fleet_fits > 0
+    for i, (a, b) in enumerate(zip(sequential, batched)):
+        assert a.num_evaluations == MAX_EVALUATIONS
+        assert len(a.history) == len(b.history), f"campaign {i}"
+        for ev_a, ev_b in zip(a.history, b.history):
+            assert ev_a.configuration == ev_b.configuration, f"campaign {i}"
+            assert ev_a.submitted == ev_b.submitted, f"campaign {i}"
+            assert ev_a.completed == ev_b.completed, f"campaign {i}"
+            assert (ev_a.objective == ev_b.objective) or (
+                math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
+            ), f"campaign {i}"
+        assert a.busy_intervals == b.busy_intervals, f"campaign {i}"
+        assert a.worker_utilization == b.worker_utilization, f"campaign {i}"
+        assert a.best_configuration == b.best_configuration, f"campaign {i}"

@@ -1,0 +1,270 @@
+"""The multi-campaign batch runner must not change any campaign's results.
+
+The acceptance property of the service layer: driving N campaigns through
+:class:`~repro.service.CampaignRunner` (batch ticks, fleet surrogate fits,
+fused candidate scoring, batched run-function evaluation) produces
+per-campaign :class:`~repro.core.search.SearchResult`\\ s bit-identical to N
+sequential ``CBOSearch.run`` calls with the same seeds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.search import CBOSearch
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    RealParameter,
+    SearchSpace,
+)
+from repro.core.surrogate import RandomForestSurrogate
+from repro.service import CampaignRunner, CampaignSpec, SharedWorkerPool
+
+
+def make_space():
+    return SearchSpace(
+        [
+            IntegerParameter("batch", 1, 1024, log=True),
+            RealParameter("rate", 0.1, 50.0, log=True),
+            CategoricalParameter("pool", ("fifo", "prio", "wait")),
+            CategoricalParameter.boolean("busy"),
+        ]
+    )
+
+
+def run_function(config):
+    value = abs(math.log(config["batch"]) - 4.0) + 0.3 * math.log(config["rate"])
+    value += 1.0 if config["pool"] == "wait" else 0.0
+    return 30.0 + 12.0 * value
+
+
+def make_search(seed, space, **kwargs):
+    params = dict(
+        num_workers=6,
+        surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
+        num_candidates=48,
+        n_initial_points=5,
+        seed=seed,
+    )
+    params.update(kwargs)
+    return CBOSearch(space, run_function, **params)
+
+
+def assert_identical(a, b):
+    assert len(a.history) == len(b.history)
+    for ev_a, ev_b in zip(a.history, b.history):
+        assert ev_a.configuration == ev_b.configuration
+        assert ev_a.submitted == ev_b.submitted
+        assert ev_a.completed == ev_b.completed
+        assert (ev_a.objective == ev_b.objective) or (
+            math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
+        )
+    assert a.busy_intervals == b.busy_intervals
+    assert a.worker_utilization == b.worker_utilization
+    assert a.best_configuration == b.best_configuration
+
+
+class TestRunnerBitIdentity:
+    @pytest.mark.parametrize("batch_fits,batch_scoring", [(True, True), (True, False), (False, True), (False, False)])
+    def test_runner_matches_sequential_runs(self, batch_fits, batch_scoring):
+        space = make_space()
+        sequential = [
+            make_search(seed, space).run(max_time=600.0, max_evaluations=30)
+            for seed in range(4)
+        ]
+        specs = [
+            CampaignSpec(
+                search=make_search(seed, space),
+                max_time=600.0,
+                max_evaluations=30,
+                label=f"c{seed}",
+            )
+            for seed in range(4)
+        ]
+        runner = CampaignRunner(
+            specs,
+            batch_surrogate_fits=batch_fits,
+            batch_candidate_scoring=batch_scoring,
+        )
+        batched = runner.run()
+        assert len(batched) == 4
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        if batch_fits:
+            assert runner.num_fleet_fits > 0
+            assert runner.num_fleet_fitted_surrogates >= 2 * runner.num_fleet_fits
+
+    def test_runner_with_gp_campaigns_matches_sequential(self):
+        space = make_space()
+        sequential = [
+            CBOSearch(space, run_function, num_workers=4, surrogate="GP",
+                      num_candidates=32, n_initial_points=4, seed=seed).run(
+                max_time=400.0, max_evaluations=16
+            )
+            for seed in range(2)
+        ]
+        specs = [
+            CampaignSpec(
+                search=CBOSearch(space, run_function, num_workers=4, surrogate="GP",
+                                 num_candidates=32, n_initial_points=4, seed=seed),
+                max_time=400.0,
+                max_evaluations=16,
+            )
+            for seed in range(2)
+        ]
+        batched = CampaignRunner(specs).run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+
+    def test_mixed_surrogates_and_budgets(self):
+        space = make_space()
+        # Surrogates are stateful (RNG): each execution needs a fresh one.
+        setups = [
+            lambda: dict(surrogate=RandomForestSurrogate(n_estimators=6, seed=0), seed=0),
+            lambda: dict(surrogate="GP", seed=1),
+            lambda: dict(surrogate=RandomForestSurrogate(n_estimators=6, seed=2), seed=2),
+        ]
+        budgets = [(500.0, 24), (350.0, 12), (650.0, 30)]
+        sequential = [
+            make_search(space=space, **kw()).run(max_time=t, max_evaluations=m)
+            for kw, (t, m) in zip(setups, budgets)
+        ]
+        specs = [
+            CampaignSpec(search=make_search(space=space, **kw()), max_time=t, max_evaluations=m)
+            for kw, (t, m) in zip(setups, budgets)
+        ]
+        batched = CampaignRunner(specs).run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+
+    def test_sharded_scoring_campaigns_match(self):
+        """score_shards on inside the runner stays bit-identical too."""
+        space = make_space()
+        sequential = [
+            make_search(seed, space, score_shards=3).run(max_time=500.0, max_evaluations=20)
+            for seed in range(3)
+        ]
+        specs = [
+            CampaignSpec(
+                search=make_search(seed, space, score_shards=3),
+                max_time=500.0,
+                max_evaluations=20,
+            )
+            for seed in range(3)
+        ]
+        batched = CampaignRunner(specs).run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner([])
+
+
+class TestRunBatcher:
+    def test_run_batcher_receives_spec_indices_and_sets_runtimes(self):
+        space = make_space()
+        seen = []
+
+        def batcher(requests):
+            seen.append([idx for idx, _ in requests])
+            return [[run_function(c) for c in configs] for _, configs in requests]
+
+        specs = [
+            CampaignSpec(search=make_search(seed, space), max_time=500.0, max_evaluations=15)
+            for seed in range(3)
+        ]
+        batched = CampaignRunner(specs, run_batcher=batcher).run()
+        sequential = [
+            make_search(seed, space).run(max_time=500.0, max_evaluations=15)
+            for seed in range(3)
+        ]
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        # The initial submissions come through the batcher as one pass.
+        assert seen[0] == [0, 1, 2]
+        assert all(all(0 <= idx < 3 for idx in batch) for batch in seen)
+
+
+class TestServiceBackedCampaigns:
+    def test_campaigns_share_a_worker_pool(self):
+        space = make_space()
+        pool = SharedWorkerPool(num_workers=6)
+        specs = [
+            CampaignSpec(
+                search=CBOSearch(
+                    space,
+                    run_function,
+                    num_workers=6,
+                    surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
+                    num_candidates=32,
+                    n_initial_points=4,
+                    seed=seed,
+                    evaluator_factory=pool.evaluator_factory(),
+                ),
+                max_time=800.0,
+                max_evaluations=20,
+            )
+            for seed in range(2)
+        ]
+        results = CampaignRunner(specs).run()
+        assert all(r.num_evaluations > 0 for r in results)
+        # Both campaigns ran on the shared clock and the shared workers.
+        assert 0.0 < pool.utilization(800.0) <= 1.0
+        total = sum(r.num_evaluations for r in results)
+        assert total == sum(len(r.history) for r in results)
+
+
+class TestHeterogeneousFleets:
+    def test_campaigns_over_different_spaces(self):
+        """Fused scoring/fitting must group by space width, not crash."""
+        narrow = SearchSpace(
+            [IntegerParameter("batch", 1, 256, log=True), RealParameter("rate", 0.1, 10.0)]
+        )
+
+        def narrow_runtime(config):
+            return 25.0 + 5.0 * abs(math.log(config["batch"]) - 3.0)
+
+        wide = make_space()
+        sequential = [
+            CBOSearch(narrow, narrow_runtime, num_workers=4,
+                      surrogate=RandomForestSurrogate(n_estimators=6, seed=0),
+                      num_candidates=32, n_initial_points=4, seed=0).run(
+                max_time=500.0, max_evaluations=18
+            ),
+            make_search(1, wide).run(max_time=500.0, max_evaluations=18),
+        ]
+        specs = [
+            CampaignSpec(
+                search=CBOSearch(narrow, narrow_runtime, num_workers=4,
+                                 surrogate=RandomForestSurrogate(n_estimators=6, seed=0),
+                                 num_candidates=32, n_initial_points=4, seed=0),
+                max_time=500.0,
+                max_evaluations=18,
+            ),
+            CampaignSpec(search=make_search(1, wide), max_time=500.0, max_evaluations=18),
+        ]
+        batched = CampaignRunner(specs).run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+
+
+class TestFleetFitErrorPath:
+    def test_incompatible_fleet_leaves_rng_streams_untouched(self):
+        """A rejected fleet must not advance any member's generator."""
+        import numpy as np
+        from repro.core.surrogate.random_forest import fit_forest_fleet
+
+        rng = np.random.default_rng(0)
+        X, y = rng.random((60, 4)), rng.random(60)
+        good = RandomForestSurrogate(seed=1)
+        reference = RandomForestSurrogate(seed=1)
+        bad = RandomForestSurrogate(seed=2, max_depth=5)
+        with pytest.raises(ValueError, match="incompatible"):
+            fit_forest_fleet([(good, X, y), (bad, X, y)])
+        good.fit(X, y)
+        reference.fit(X, y)
+        for ta, tb in zip(good._trees, reference._trees):
+            assert np.array_equal(ta.threshold, tb.threshold)
