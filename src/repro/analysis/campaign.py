@@ -109,6 +109,22 @@ class CampaignResult:
         """Mean/min/max incumbent trajectory on a regular time grid (Fig. 3)."""
         return aggregate_trajectories(self.results, self.max_time, num_points)
 
+    def incumbent_at(self, times: Sequence[float]) -> np.ndarray:
+        """Best-known run time of every repetition at every sample time.
+
+        Returns a ``(repetitions, len(times))`` matrix; each repetition's row
+        is resolved with a single vectorised
+        :meth:`~repro.core.history.SearchHistory.incumbent_at` call over the
+        whole grid (times clipped to the campaign budget, entries before the
+        first success are ``inf``) instead of one per-row
+        ``best_runtime_at`` scan per (repetition, time) pair — the columnar
+        path the Fig. 3 convergence benchmarks aggregate from.
+        """
+        grid = np.minimum(np.asarray(times, dtype=float), self.max_time)
+        return np.asarray(
+            [r.history.incumbent_at(grid) for r in self.results], dtype=float
+        ).reshape(len(self.results), grid.shape[0])
+
 
 def aggregate_trajectories(
     results: Sequence[SearchResult],

@@ -8,22 +8,77 @@ same one-row-per-evaluation layout as
 :meth:`repro.core.history.SearchHistory.to_csv`) together with a small JSON
 manifest describing the campaign, and the whole directory can be loaded back
 for analysis without re-running anything.
+
+Loading is served by a **parsed-history cache** keyed by the file's path,
+modification time and size: the typed columnar parse
+(:meth:`~repro.core.history.SearchHistory.from_csv`) runs once per file even
+when several analysis entry points (:func:`load_campaign`,
+:func:`load_histories`, repeated figure builds) read the same CSV, and every
+caller receives its own independent
+:meth:`~repro.core.history.SearchHistory.copy` of the cached columns.  A
+rewritten file (new mtime/size) re-parses; :func:`clear_history_cache` drops
+the cache explicitly.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.history import SearchHistory
+from repro.core.objective import Objective
 from repro.core.search import SearchResult
 from repro.core.space import SearchSpace
 from repro.analysis.campaign import CampaignResult
 
-__all__ = ["save_campaign", "load_campaign", "load_histories"]
+__all__ = ["save_campaign", "load_campaign", "load_histories", "clear_history_cache"]
 
 MANIFEST_NAME = "campaign.json"
+
+#: Parsed-history cache: (resolved path, mtime_ns, size) → [(space, objective,
+#: parsed history), ...].  The short value list (almost always length 1)
+#: guards against the same file being parsed against different spaces.
+_HISTORY_CACHE: Dict[Tuple[str, int, int], List[Tuple[SearchSpace, Objective, SearchHistory]]] = {}
+
+#: Cache bound: beyond this many distinct files the oldest entries are
+#: evicted (insertion order), so bulk sweeps over hundreds of campaign
+#: directories still reuse parses within a directory pass without retaining
+#: every history ever loaded for the life of the process.
+_HISTORY_CACHE_MAX_FILES = 256
+
+
+def clear_history_cache() -> None:
+    """Drop every cached parsed history (tests, or bulk directory rewrites)."""
+    _HISTORY_CACHE.clear()
+
+
+def _load_history_cached(
+    path: Path, space: SearchSpace, objective: Optional[Objective] = None
+) -> SearchHistory:
+    """Load one history CSV through the parsed-column cache.
+
+    Returns an independent copy of the cached parse, so callers can extend
+    the history without corrupting later loads.
+    """
+    stat = path.stat()
+    resolved = str(path.resolve())
+    key = (resolved, stat.st_mtime_ns, stat.st_size)
+    wanted = objective or Objective()
+    if key not in _HISTORY_CACHE:
+        # A rewritten file invalidates its old entry; drop it so the cache
+        # does not accumulate one stale parse per overwrite.
+        for stale in [k for k in _HISTORY_CACHE if k[0] == resolved]:
+            del _HISTORY_CACHE[stale]
+    entries = _HISTORY_CACHE.setdefault(key, [])
+    for cached_space, cached_objective, history in entries:
+        if cached_space == space and cached_objective == wanted:
+            return history.copy()
+    history = SearchHistory.from_csv(path, space, objective=objective)
+    entries.append((space, wanted, history))
+    while len(_HISTORY_CACHE) > _HISTORY_CACHE_MAX_FILES:
+        _HISTORY_CACHE.pop(next(iter(_HISTORY_CACHE)))
+    return history.copy()
 
 
 def save_campaign(campaign: CampaignResult, directory: Union[str, Path]) -> Path:
@@ -65,7 +120,7 @@ def load_histories(
     manifest = _read_manifest(directory)
     histories = []
     for entry in manifest["files"]:
-        histories.append(SearchHistory.from_csv(directory / entry["file"], space))
+        histories.append(_load_history_cached(directory / entry["file"], space))
     return histories
 
 
@@ -86,7 +141,7 @@ def load_campaign(directory: Union[str, Path], space: SearchSpace) -> CampaignRe
         num_workers=int(manifest["num_workers"]),
     )
     for entry in manifest["files"]:
-        history = SearchHistory.from_csv(directory / entry["file"], space)
+        history = _load_history_cached(directory / entry["file"], space)
         best = history.best()
         campaign.results.append(
             SearchResult(

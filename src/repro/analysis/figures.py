@@ -84,10 +84,7 @@ def fig3_table(
     rows: List[List[object]] = []
     for setup, entry in chain.items():
         for variant, campaign in entry.items():
-            times = np.minimum(np.asarray(sample_times, dtype=float), campaign.max_time)
-            per_rep = np.asarray(
-                [r.history.incumbent_at(times) for r in campaign.results], dtype=float
-            ).reshape(len(campaign.results), len(sample_times))
+            per_rep = campaign.incumbent_at(sample_times)
             row: List[object] = [setup, variant]
             row.extend(
                 AggregatedMetrics.from_values(per_rep[:, j])

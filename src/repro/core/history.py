@@ -455,7 +455,31 @@ class SearchHistory:
         dict path when the history contains incomplete rows, skipping rows
         that do not define every parameter of the space.
         """
-        idx = self._top_quantile_indices(q)
+        return self._columns_at(self._top_quantile_indices(q))
+
+    def top_k_columns(self, k: int) -> ColumnBatch:
+        """The ``k`` best successful configurations as a columnar batch.
+
+        Selection happens on the objective column (descending, ties broken by
+        insertion order); fewer than ``k`` successes return them all.  This
+        is the fixed-size sibling of :meth:`top_quantile_columns` used by the
+        periodic prior-refresh scenario: a fixed ``k`` keeps the VAE training
+        matrices of a whole campaign fleet the same shape, so their refits
+        can be fused into one :class:`~repro.core.vae.tvae.VAEFleet` pass.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        obj = self._objective_buf[: self._n]
+        finite = np.flatnonzero(np.isfinite(obj))
+        if finite.size == 0:
+            return self._columns_at(np.empty(0, dtype=np.intp))
+        # Descending stable sort: negating keeps equal objectives in
+        # insertion order, matching a sequential "best so far" scan.
+        order = np.argsort(-obj[finite], kind="stable")
+        return self._columns_at(finite[order[:k]])
+
+    def _columns_at(self, idx: np.ndarray) -> ColumnBatch:
+        """Fancy-index the parameter columns at ``idx`` (row-tolerant)."""
         if self._incomplete_rows:
             names = self.space.parameter_names
             complete = [
@@ -468,6 +492,29 @@ class SearchHistory:
             self.space,
             {name: buf[:self._n][idx] for name, buf in self._param_bufs.items()},
         )
+
+    # ------------------------------------------------------------------- copy
+    def copy(self) -> "SearchHistory":
+        """An independent snapshot of this history (buffers copied).
+
+        Appending to either history afterwards leaves the other untouched.
+        Used by the analysis layer's parsed-CSV cache to hand every caller
+        its own history without re-parsing the file.
+        """
+        clone = SearchHistory(self.space, objective=self.objective)
+        n = self._n
+        clone._n = n
+        clone._capacity = n
+        clone._objective_buf = self._objective_buf[:n].copy()
+        clone._runtime_buf = self._runtime_buf[:n].copy()
+        clone._submitted_buf = self._submitted_buf[:n].copy()
+        clone._completed_buf = self._completed_buf[:n].copy()
+        clone._worker_buf = self._worker_buf[:n].copy()
+        clone._eval_id_buf = self._eval_id_buf[:n].copy()
+        clone._param_bufs = {name: buf[:n].copy() for name, buf in self._param_bufs.items()}
+        clone._extras = {i: dict(extras) for i, extras in self._extras.items()}
+        clone._incomplete_rows = self._incomplete_rows
+        return clone
 
     # -------------------------------------------------------------------- csv
     CSV_META_COLUMNS = ("eval_id", "worker", "submitted", "completed", "runtime", "objective")

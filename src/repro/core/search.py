@@ -41,8 +41,16 @@ from repro.core.priors import JointPrior
 from repro.core.space import Configuration, SearchSpace
 from repro.core.surrogate.base import Surrogate
 from repro.core.transfer import TransferLearningPrior, fit_transfer_prior
+from repro.core.vae.transforms import TabularTransform
+from repro.core.vae.tvae import TabularVAE
 
-__all__ = ["SearchResult", "CampaignExecution", "CBOSearch", "VAEABOSearch"]
+__all__ = [
+    "SearchResult",
+    "CampaignExecution",
+    "CBOSearch",
+    "PreparedPriorRefresh",
+    "VAEABOSearch",
+]
 
 
 @dataclass
@@ -135,6 +143,24 @@ class CBOSearch:
         :class:`~repro.service.ServiceEvaluator` bound to a shared worker
         pool.  The evaluator must implement the same
         submit/collect/wait_any protocol.
+    prior_refresh_interval:
+        The continuous-retuning scenario: every this-many completed
+        evaluations, refit a tabular VAE on the campaign's *own* best
+        configurations and install it as the sampling prior (``None``, the
+        default, disables refreshing).  Like the initial transfer-learning
+        fit, the refit runs manager-side and is charged no virtual search
+        time.  Multi-campaign drivers fuse the due refits of one tick into a
+        single :class:`~repro.core.vae.tvae.VAEFleet` pass — bit-identical
+        to refitting per campaign.
+    prior_refresh_top_k:
+        Number of best configurations the refreshed prior is trained on.  A
+        *fixed* count (rather than a quantile) keeps the VAE training
+        matrices of a whole campaign fleet the same shape, which is what
+        makes the fused fleet refit possible.
+    prior_refresh_epochs:
+        VAE training epochs per refresh.
+    prior_refresh_uniform_fraction:
+        Uniform-exploration fraction of the refreshed prior.
     seed:
         RNG seed.
     """
@@ -159,6 +185,10 @@ class CBOSearch:
         score_shards: int = 1,
         score_executor: Optional[object] = None,
         evaluator_factory: Optional[Callable] = None,
+        prior_refresh_interval: Optional[int] = None,
+        prior_refresh_top_k: int = 16,
+        prior_refresh_epochs: int = 60,
+        prior_refresh_uniform_fraction: float = 0.05,
         seed: int = 0,
     ):
         self.space = space
@@ -184,6 +214,16 @@ class CBOSearch:
         self.overhead = make_overhead_model(overhead)
         self.failure_duration = float(failure_duration)
         self.evaluator_factory = evaluator_factory
+        if prior_refresh_interval is not None and prior_refresh_interval < 1:
+            raise ValueError("prior_refresh_interval must be >= 1")
+        if prior_refresh_top_k < 1:
+            raise ValueError("prior_refresh_top_k must be >= 1")
+        if prior_refresh_epochs < 1:
+            raise ValueError("prior_refresh_epochs must be >= 1")
+        self.prior_refresh_interval = prior_refresh_interval
+        self.prior_refresh_top_k = int(prior_refresh_top_k)
+        self.prior_refresh_epochs = int(prior_refresh_epochs)
+        self.prior_refresh_uniform_fraction = float(prior_refresh_uniform_fraction)
         self.seed = int(seed)
 
     # --------------------------------------------------------------------- run
@@ -238,6 +278,31 @@ class CBOSearch:
         )
 
 
+@dataclass
+class PreparedPriorRefresh:
+    """One due prior refresh, between selection/encoding and VAE training.
+
+    Attributes
+    ----------
+    vae:
+        A fresh, unfitted VAE (deterministic per-refresh seed) awaiting
+        training — solo or inside a fused fleet pass.
+    design:
+        The encoded top-``k`` training matrix (``k × transform.dimension``).
+    epochs, batch_size:
+        The training budget the fit must use.
+    top_batch:
+        The selected configurations as a columnar batch (becomes the new
+        prior's resampling fallback and inspection record).
+    """
+
+    vae: TabularVAE
+    design: "np.ndarray"
+    epochs: int
+    batch_size: int
+    top_batch: object
+
+
 class CampaignExecution:
     """One in-flight campaign: the stepping form of :meth:`CBOSearch.run`.
 
@@ -250,6 +315,13 @@ class CampaignExecution:
       surrogate) and charge the model-update overhead, or — for drivers that
       batch surrogate fits across campaigns — :meth:`ingest_collected` /
       :meth:`charge_tell` around an external fleet fit;
+    * :meth:`refresh_prior_if_due` — the continuous-retuning scenario
+      (``prior_refresh_interval``): refit the sampling prior's VAE on the
+      campaign's own incumbents, or — for drivers that fuse the VAE refits
+      of several campaigns into one
+      :class:`~repro.core.vae.tvae.VAEFleet` pass —
+      :meth:`prepare_prior_refresh` / :meth:`finish_prior_refresh` around
+      the external fleet fit;
     * :meth:`ask_and_submit` — generate proposals for the idle workers,
       charge the candidate-generation overhead and submit.
 
@@ -290,6 +362,10 @@ class CampaignExecution:
         self._pending_batch: Optional[List[Configuration]] = None
         self._prepared_ask = None
         self._ask_elapsed = 0.0
+        self._evals_since_prior_refresh = 0
+        self._prior_transform: Optional[TabularTransform] = None
+        #: Number of prior refreshes performed so far (continuous retuning).
+        self.num_prior_refreshes = 0
 
         # ----------------------------------------------------- initialisation
         if initial_configurations:
@@ -343,6 +419,7 @@ class CampaignExecution:
         self._tell_configs = [ev.configuration for ev in completed]
         self._tell_objectives = [rec.objective for rec in recorded]
         self._num_completed = len(completed)
+        self._evals_since_prior_refresh += len(completed)
         return completed
 
     def tell_collected(self) -> None:
@@ -372,6 +449,82 @@ class CampaignExecution:
             evaluator.now
             + self.search.overhead.tell_cost(self.optimizer, self._num_completed)
         )
+
+    # ---------------------------------------------------------- prior refresh
+    def prepare_prior_refresh(self) -> Optional["PreparedPriorRefresh"]:
+        """The selection/encode half of a due prior refresh (fleet-fit seam).
+
+        Returns ``None`` when refreshing is disabled, not yet due, or the
+        history does not hold ``prior_refresh_top_k`` successes.  Otherwise
+        the campaign's best configurations are selected and encoded as
+        columns (no row dicts) and a fresh, unfitted
+        :class:`~repro.core.vae.tvae.TabularVAE` is returned for the caller
+        to train — solo (:meth:`refresh_prior_if_due`) or fused across
+        campaigns in one :class:`~repro.core.vae.tvae.VAEFleet` pass —
+        before :meth:`finish_prior_refresh` installs the new prior.
+        """
+        search = self.search
+        interval = search.prior_refresh_interval
+        if interval is None or self._evals_since_prior_refresh < interval:
+            return None
+        top_batch = self.history.top_k_columns(search.prior_refresh_top_k)
+        if len(top_batch) < search.prior_refresh_top_k:
+            return None
+        if self._prior_transform is None:
+            self._prior_transform = TabularTransform(search.space)
+        transform = self._prior_transform
+        design = transform.encode_columns(top_batch)
+        # A fresh VAE per refresh with a deterministic per-refresh seed: the
+        # same campaign refitting for the same time produces the same model
+        # whether it runs solo or inside a batched fleet.
+        vae = TabularVAE(
+            input_dim=transform.dimension,
+            numeric_columns=transform.numeric_columns,
+            categorical_blocks=transform.categorical_blocks,
+            latent_dim=min(8, max(2, transform.dimension // 2)),
+            hidden=(64, 64),
+            seed=search.seed + 7919 * (self.num_prior_refreshes + 1),
+        )
+        return PreparedPriorRefresh(
+            vae=vae,
+            design=design,
+            epochs=search.prior_refresh_epochs,
+            batch_size=min(64, max(4, len(top_batch))),
+            top_batch=top_batch,
+        )
+
+    def finish_prior_refresh(self, prepared: "PreparedPriorRefresh") -> None:
+        """Install the refreshed (trained) VAE as the campaign's prior."""
+        search = self.search
+        self.optimizer.prior = TransferLearningPrior(
+            space=search.space,
+            vae=prepared.vae,
+            transform=self._prior_transform,
+            new_parameters=[],
+            uniform_fraction=search.prior_refresh_uniform_fraction,
+            top_configurations=prepared.top_batch.to_configurations(),
+            top_batch=prepared.top_batch,
+        )
+        self.num_prior_refreshes += 1
+        self._evals_since_prior_refresh = 0
+
+    def refresh_prior_if_due(self) -> bool:
+        """Refit the sampling prior from the campaign's own incumbents.
+
+        The solo path of the continuous-retuning scenario: prepare, train
+        the VAE in place, install.  Like the initial transfer-learning fit,
+        no virtual search time is charged — the refit is manager-side
+        background work (a batched fleet refit's wall-clock is shared across
+        campaigns anyway, mirroring the fleet surrogate-fit carve-out).
+        """
+        prepared = self.prepare_prior_refresh()
+        if prepared is None:
+            return False
+        prepared.vae.fit(
+            prepared.design, epochs=prepared.epochs, batch_size=prepared.batch_size
+        )
+        self.finish_prior_refresh(prepared)
+        return True
 
     def ask_and_submit(self) -> None:
         """Propose for the idle workers, charge overhead and submit."""
@@ -456,6 +609,7 @@ class CampaignExecution:
         if self.collect() is None:
             return False
         self.tell_collected()
+        self.refresh_prior_if_due()
         self.ask_and_submit()
         return True
 

@@ -260,6 +260,10 @@ class IntegerParameter(Parameter):
             v = float(value)
         except (TypeError, ValueError):
             return False
+        # Non-finite values are out of domain (int(v) below would raise);
+        # clip() then settles them on a bound, matching clip_columns.
+        if not math.isfinite(v):
+            return False
         return v == int(v) and self.low <= int(v) <= self.high
 
     def to_unit(self, value: Any) -> float:
@@ -820,6 +824,68 @@ class SearchSpace:
             else:
                 # Snap to the nearest category/value in unit space.
                 out[p.name] = p.from_unit(0.5) if not _snappable(p, value) else _snap(p, value)
+        return out
+
+    def clip_columns(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Columnar :meth:`clip`: project whole value columns into the space.
+
+        In-domain values pass through untouched (same objects, so value types
+        survive exactly as in the per-row path); out-of-domain numeric values
+        are clipped to the bounds (rounded for integer parameters) and
+        out-of-domain discrete values snap like :meth:`clip` does.  The
+        output is bit-compatible with mapping :meth:`clip` over materialised
+        row dicts — pinned by the transfer-learning tests — without building
+        any row dict.  Columns whose values are all legal are returned as-is.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for p in self._params:
+            if p.name not in columns:
+                raise ValueError(f"columns are missing parameter {p.name!r}")
+            col = np.asarray(columns[p.name])
+            if isinstance(p, (RealParameter, IntegerParameter)):
+                try:
+                    values = col.astype(float)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"cannot clip non-numeric values for {p.name!r}"
+                    ) from None
+                inside = (values >= p.low) & (values <= p.high)
+                if isinstance(p, IntegerParameter):
+                    inside &= values == np.rint(values)
+                bad = np.flatnonzero(~inside)
+                if bad.size == 0:
+                    out[p.name] = col
+                    continue
+                fixed = col.astype(object)
+                for j in bad:
+                    # Same scalar arithmetic as clip() so the columns stay
+                    # bit-compatible with the per-row path (incl. non-finite
+                    # values, which Python's min/max settle on a bound).
+                    v = min(p.high, max(p.low, float(values[j])))
+                    fixed[j] = int(round(v)) if isinstance(p, IntegerParameter) else v
+                out[p.name] = fixed
+            else:
+                # Discrete parameters: membership via the (first-wins) index
+                # map; the rare out-of-domain value snaps exactly like clip.
+                index_map = p._index_map()  # type: ignore[attr-defined]
+                bad = []
+                for j, v in enumerate(col):
+                    try:
+                        known = v in index_map
+                    except TypeError:
+                        known = False
+                    if not known and not p.contains(v):
+                        bad.append(j)
+                if not bad:
+                    out[p.name] = col
+                    continue
+                fixed = col.astype(object)
+                for j in bad:
+                    v = col[j]
+                    fixed[j] = _snap(p, v) if _snappable(p, v) else p.from_unit(0.5)
+                out[p.name] = fixed
         return out
 
     # ----------------------------------------------------- column extraction

@@ -60,6 +60,10 @@ class TransferLearningPrior(JointPrior):
     top_configurations:
         The configurations the VAE was trained on (kept for inspection and
         for the fallback when the VAE could not be trained).
+    top_batch:
+        Optional columnar form of ``top_configurations`` over the shared
+        subspace (built once by :func:`fit_transfer_prior`); when omitted it
+        is derived from ``top_configurations``.
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class TransferLearningPrior(JointPrior):
         new_parameters: List[str],
         uniform_fraction: float = 0.05,
         top_configurations: Optional[List[Configuration]] = None,
+        top_batch: Optional[ColumnBatch] = None,
     ):
         if not (0.0 <= uniform_fraction <= 1.0):
             raise ValueError("uniform_fraction must be in [0, 1]")
@@ -83,6 +88,19 @@ class TransferLearningPrior(JointPrior):
         self._new_priors = {
             name: default_prior(space[name]) for name in self.new_parameters
         }
+        # The shared-subspace machinery of the fallback sampler is resolved
+        # once here instead of per sample_columns call.
+        names = [c.parameter.name for c in transform.columns]
+        self._shared_space = SearchSpace([c.parameter for c in transform.columns])
+        if top_batch is not None and len(top_batch) > 0:
+            self._top_batch: Optional[ColumnBatch] = top_batch
+        elif self.top_configurations:
+            self._top_batch = ColumnBatch.from_configurations(
+                self._shared_space,
+                [{name: c[name] for name in names} for c in self.top_configurations],
+            )
+        else:
+            self._top_batch = None
 
     # --------------------------------------------------------------- sampling
     def sample_columns(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
@@ -127,18 +145,12 @@ class TransferLearningPrior(JointPrior):
         if self.vae is not None and self.vae.fitted:
             rows = self.vae.sample(n, rng)
             return self.transform.decode_columns(rows, rng=rng, sample_categories=True).columns
-        names = [c.parameter.name for c in self.transform.columns]
-        # Fallback (tiny Q_p): resample the top configurations directly.
-        if self.top_configurations:
-            picks = rng.integers(0, len(self.top_configurations), size=n)
-            sub = SearchSpace([c.parameter for c in self.transform.columns])
-            tops = ColumnBatch.from_configurations(
-                sub, [{name: c[name] for name in names} for c in self.top_configurations]
-            )
-            return tops.take(picks).columns
+        # Fallback (tiny Q_p): resample the precomputed columnar Q_p directly.
+        if self._top_batch is not None:
+            picks = rng.integers(0, len(self._top_batch), size=n)
+            return self._top_batch.take(picks).columns
         # Last resort: uninformative sampling of the shared subspace.
-        sub = SearchSpace([c.parameter for c in self.transform.columns])
-        return IndependentPrior(sub).sample_columns(n, rng)
+        return IndependentPrior(self._shared_space).sample_columns(n, rng)
 
     # ------------------------------------------------------------- inspection
     @property
@@ -209,21 +221,26 @@ def fit_transfer_prior(
             }
             if len(restricted) == len(shared_names):
                 top_shared.append(shared_space.clip(restricted))
+        top_batch = ColumnBatch.from_configurations(shared_space, top_shared)
     else:
-        # Hot path: select Q_p on the history's objective column and
-        # fancy-index only the shared parameter columns — the selection never
-        # materialises one dict per historical evaluation (H_p has 1500+ rows
-        # at paper scale, Q_p a handful).
-        top_batch = source_history.top_quantile_columns(quantile)
-        shared_columns = [top_batch.column(name).tolist() for name in shared_names]
-        top_shared = [
-            shared_space.clip(dict(zip(shared_names, row)))
-            for row in zip(*shared_columns)
-        ]
+        # Hot path, columnar end to end: select Q_p on the history's
+        # objective column, fancy-index only the shared parameter columns,
+        # clip them as columns and encode them as columns — the selection
+        # never materialises one dict per historical evaluation (H_p has
+        # 1500+ rows at paper scale, Q_p a handful) and the VAE's design
+        # matrix is built without intermediate row dicts.
+        source_batch = source_history.top_quantile_columns(quantile)
+        top_batch = ColumnBatch(
+            shared_space,
+            shared_space.clip_columns(
+                {name: source_batch.column(name) for name in shared_names}
+            ),
+        )
+        top_shared = top_batch.to_configurations()
 
     vae: Optional[TabularVAE] = None
-    if len(top_shared) >= min_configurations_for_vae:
-        X = transform.encode(top_shared)
+    if len(top_batch) >= min_configurations_for_vae:
+        X = transform.encode_columns(top_batch)
         vae = TabularVAE(
             input_dim=transform.dimension,
             numeric_columns=transform.numeric_columns,
@@ -232,7 +249,7 @@ def fit_transfer_prior(
             hidden=hidden,
             seed=seed,
         )
-        vae.fit(X, epochs=epochs, batch_size=min(64, max(4, len(top_shared))))
+        vae.fit(X, epochs=epochs, batch_size=min(64, max(4, len(top_batch))))
 
     return TransferLearningPrior(
         space=target_space,
@@ -241,4 +258,5 @@ def fit_transfer_prior(
         new_parameters=new_names,
         uniform_fraction=uniform_fraction,
         top_configurations=top_shared,
+        top_batch=top_batch,
     )

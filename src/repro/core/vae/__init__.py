@@ -6,20 +6,42 @@ package).  PyTorch is not available in this environment, so the VAE is
 implemented from scratch:
 
 * :mod:`repro.core.vae.layers` — dense layers, activations and a small MLP
-  container with manual forward/backward passes.
-* :mod:`repro.core.vae.optim` — the Adam optimiser.
+  container with manual forward/backward passes, plus their fleet-stacked
+  counterparts (:class:`~repro.core.vae.layers.DenseFleet`,
+  :class:`~repro.core.vae.layers.MLPFleet`) driving ``K`` networks with one
+  batched contraction per layer.
+* :mod:`repro.core.vae.optim` — the Adam optimiser and its fleet-stacked
+  variant (:class:`~repro.core.vae.optim.AdamFleet`).
 * :mod:`repro.core.vae.transforms` — the tabular transform mapping mixed
   integer/real/categorical configurations onto the VAE's numeric inputs
   (unit-interval columns for numeric/ordinal parameters, one-hot blocks for
-  categorical parameters) and back.
+  categorical parameters) and back; both directions are columnar
+  (``encode_columns``/``decode_columns``), with the row-major ``encode`` kept
+  as the bit-identical reference.
 * :mod:`repro.core.vae.tvae` — the VAE itself: Gaussian latent space,
   per-column reconstruction losses (Gaussian for numeric columns,
-  cross-entropy for categorical blocks), trained with Adam.
+  cross-entropy for categorical blocks), trained with Adam — solo
+  (:meth:`~repro.core.vae.tvae.TabularVAE.fit`) or as a fused lock-step
+  fleet (:class:`~repro.core.vae.tvae.VAEFleet`, bitwise identical per
+  member to sequential fits).
 """
 
-from repro.core.vae.layers import Dense, MLP, ReLU, Tanh
-from repro.core.vae.optim import Adam
+from repro.core.vae.layers import Dense, DenseFleet, MLP, MLPFleet, ReLU, Tanh
+from repro.core.vae.optim import Adam, AdamFleet
 from repro.core.vae.transforms import TabularTransform
-from repro.core.vae.tvae import TabularVAE
+from repro.core.vae.tvae import TabularVAE, VAEFleet, vae_fleet_key
 
-__all__ = ["Adam", "Dense", "MLP", "ReLU", "TabularTransform", "TabularVAE", "Tanh"]
+__all__ = [
+    "Adam",
+    "AdamFleet",
+    "Dense",
+    "DenseFleet",
+    "MLP",
+    "MLPFleet",
+    "ReLU",
+    "TabularTransform",
+    "TabularVAE",
+    "Tanh",
+    "VAEFleet",
+    "vae_fleet_key",
+]

@@ -5,6 +5,21 @@ units, a few thousand training rows at most), so a straightforward NumPy
 implementation with explicit forward/backward methods is both sufficient and
 easy to verify — the test suite checks the analytic gradients against finite
 differences.
+
+Two families of layers live here:
+
+* the scalar family (:class:`Dense`, :class:`MLP`) — one network, 2-D
+  activations ``(batch, features)``;
+* the fleet family (:class:`DenseFleet`, :class:`MLPFleet`) — ``K``
+  independent networks advanced in lock step, with stacked ``(K, in, out)``
+  weights driven by one batched contraction (``np.matmul`` over the stacked
+  operands) per layer.  Each stacked slice sees exactly the 2-D problem a
+  solo layer would, so fleet activations and gradients are **bitwise
+  identical** per member to running the members one by one — the property
+  the fused :class:`~repro.core.vae.tvae.VAEFleet` training relies on.
+
+The elementwise activations (:class:`ReLU`, :class:`Tanh`) are shape-agnostic
+and shared by both families.
 """
 
 from __future__ import annotations
@@ -13,7 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Layer", "Dense", "ReLU", "Tanh", "MLP"]
+__all__ = ["Layer", "Dense", "ReLU", "Tanh", "MLP", "DenseFleet", "MLPFleet"]
 
 
 class Layer:
@@ -121,6 +136,126 @@ class MLP(Layer):
             prev = width
         layers.append(Dense(prev, out_dim, rng))
         return cls(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        params: List[Tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+
+# --------------------------------------------------------------------- fleets
+class DenseFleet(Layer):
+    """``K`` independent :class:`Dense` layers with stacked weights.
+
+    The weights live in one ``(K, in, out)`` array (bias ``(K, out)``) and a
+    forward pass contracts the whole fleet at once:
+    ``y = matmul(x, W) + b[:, None, :]`` over activations of shape
+    ``(K, batch, in)``.  NumPy's stacked ``matmul`` runs the same 2-D kernel
+    per slice as ``x[k] @ W[k]``, so every member's outputs and gradients are
+    bitwise identical to a solo :class:`Dense` seeing the same inputs.
+    """
+
+    def __init__(self, W: np.ndarray, b: np.ndarray):
+        W = np.asarray(W, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if W.ndim != 3 or b.ndim != 2 or W.shape[0] != b.shape[0] or W.shape[2] != b.shape[1]:
+            raise ValueError("DenseFleet needs W of shape (K, in, out) and b of shape (K, out)")
+        self.W = W
+        self.b = b
+        self.dW = np.zeros_like(W)
+        self.db = np.zeros_like(b)
+        self._x: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_members(cls, members: Sequence[Dense]) -> "DenseFleet":
+        """Stack the weights of ``K`` compatible :class:`Dense` layers."""
+        if not members:
+            raise ValueError("need at least one member layer")
+        shape = members[0].W.shape
+        if any(m.W.shape != shape for m in members):
+            raise ValueError("all member layers must share the same (in, out) shape")
+        return cls(np.stack([m.W for m in members]), np.stack([m.b for m in members]))
+
+    def write_back(self, members: Sequence[Dense]) -> None:
+        """Copy the trained stacked weights back into the member layers."""
+        if len(members) != self.W.shape[0]:
+            raise ValueError("member count does not match the fleet size")
+        for k, member in enumerate(members):
+            member.W[...] = self.W[k]
+            member.b[...] = self.b[k]
+            member.dW[...] = self.dW[k]
+            member.db[...] = self.db[k]
+
+    @property
+    def fleet_size(self) -> int:
+        """Number of member layers."""
+        return self.W.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return np.matmul(x, self.W) + self.b[:, None, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW += np.matmul(self._x.transpose(0, 2, 1), grad_output)
+        self.db += grad_output.sum(axis=1)
+        return np.matmul(grad_output, self.W.transpose(0, 2, 1))
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return [(self.W, self.dW), (self.b, self.db)]
+
+
+class MLPFleet(Layer):
+    """``K`` independent :class:`MLP` stacks advanced in lock step.
+
+    Built from member MLPs of identical structure: every :class:`Dense` level
+    becomes one :class:`DenseFleet`, elementwise activations are shared as-is
+    (they are shape-agnostic and stateless between members).
+    """
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers = list(layers)
+
+    @classmethod
+    def from_members(cls, members: Sequence[MLP]) -> "MLPFleet":
+        """Stack ``K`` structurally identical member MLPs."""
+        if not members:
+            raise ValueError("need at least one member MLP")
+        depth = len(members[0].layers)
+        if any(len(m.layers) != depth for m in members):
+            raise ValueError("all member MLPs must have the same depth")
+        layers: List[Layer] = []
+        for level in range(depth):
+            level_layers = [m.layers[level] for m in members]
+            kinds = {type(layer) for layer in level_layers}
+            if len(kinds) != 1:
+                raise ValueError(f"mixed layer types at level {level}: {sorted(k.__name__ for k in kinds)}")
+            if isinstance(level_layers[0], Dense):
+                layers.append(DenseFleet.from_members(level_layers))
+            else:
+                # Elementwise activation: stateless between calls, reuse the type.
+                layers.append(type(level_layers[0])())
+        return cls(layers)
+
+    def write_back(self, members: Sequence[MLP]) -> None:
+        """Copy the trained stacked weights back into the member MLPs."""
+        for level, layer in enumerate(self.layers):
+            if isinstance(layer, DenseFleet):
+                layer.write_back([m.layers[level] for m in members])
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = x

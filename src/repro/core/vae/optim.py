@@ -1,4 +1,13 @@
-"""Adam optimiser for the NumPy MLPs."""
+"""Adam optimisers for the NumPy MLPs (solo and fleet-stacked).
+
+:class:`Adam` drives one network's ``(parameter, gradient)`` pairs.
+:class:`AdamFleet` drives the stacked parameters of a
+:class:`~repro.core.vae.layers.DenseFleet`/:class:`~repro.core.vae.layers.MLPFleet`:
+its moment buffers carry the fleet's leading ``K`` axis and the step count
+is shared (fleet members step in lock step by construction).  Because every
+Adam update is elementwise, each member's slice of a fleet update is bitwise
+identical to a solo :class:`Adam` update on the same gradients.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Adam"]
+__all__ = ["Adam", "AdamFleet"]
 
 
 class Adam:
@@ -64,3 +73,43 @@ class Adam:
     def steps_taken(self) -> int:
         """Number of update steps applied so far."""
         return self._t
+
+
+class AdamFleet(Adam):
+    """Adam over fleet-stacked parameters (leading axis = fleet member).
+
+    Every Adam update is elementwise, so the base :meth:`Adam.step` already
+    advances all members at once when the moment buffers carry the stacked
+    shapes; this subclass pins the fleet contract — every parameter must lead
+    with the ``K`` axis, the step count is shared because members step in
+    lock step — and validates it up front.
+
+    Parameters
+    ----------
+    parameters:
+        ``(parameter, gradient)`` pairs whose arrays carry the fleet's
+        leading ``K`` axis (e.g. ``DenseFleet.parameters()``).
+    fleet_size:
+        Number of members ``K`` (validated against every parameter).
+    lr, beta1, beta2, eps:
+        As for :class:`Adam`, shared by all members.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Tuple[np.ndarray, np.ndarray]],
+        fleet_size: int,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if fleet_size < 1:
+            raise ValueError("fleet_size must be >= 1")
+        super().__init__(parameters, lr=lr, beta1=beta1, beta2=beta2, eps=eps)
+        for param, _ in self.parameters:
+            if param.shape[0] != fleet_size:
+                raise ValueError(
+                    f"parameter of shape {param.shape} does not lead with fleet_size={fleet_size}"
+                )
+        self.fleet_size = int(fleet_size)

@@ -15,12 +15,22 @@ Decoding inverts the mapping: numeric columns go through
 ``Parameter.from_unit`` (clipped to ``[0, 1]``), categorical blocks are
 interpreted as probability vectors from which a category is sampled (or the
 arg-max taken).
+
+Both directions are columnar on the hot path: :meth:`TabularTransform.encode_columns`
+maps per-parameter value columns (a :class:`~repro.core.space.ColumnBatch` or
+a plain ``{name: column}`` mapping, e.g. straight from
+:meth:`~repro.core.history.SearchHistory.top_quantile_columns`) into the
+design matrix without materialising row dicts, and
+:meth:`TabularTransform.decode_columns` turns VAE outputs back into a
+columnar batch.  The row-major :meth:`TabularTransform.encode` /
+:meth:`TabularTransform.decode` are kept as the bit-identical reference pair
+(property-tested against the column path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -96,16 +106,61 @@ class TabularTransform:
 
     # ----------------------------------------------------------------- encode
     def encode(self, configurations: Sequence[Configuration]) -> np.ndarray:
-        """Transform configurations into the numeric matrix (n × dimension).
+        """Transform row-major configurations into the numeric matrix.
 
-        Column-wise vectorised: one NumPy pass per parameter instead of one
-        Python-level loop iteration per cell.
+        This is the reference row path: per-parameter value lists are pulled
+        out of the configuration dicts and run through the same column codecs
+        as :meth:`encode_columns` (which the property tests pin as
+        bit-identical).
         """
-        n = len(configurations)
+        columns = {
+            col.parameter.name: [config[col.parameter.name] for config in configurations]
+            for col in self._columns
+        }
+        return self._encode_column_values(len(configurations), columns)
+
+    def encode_columns(
+        self, columns: Union["ColumnBatch", Mapping[str, Sequence]]
+    ) -> np.ndarray:
+        """Transform per-parameter value columns into the numeric matrix.
+
+        The columnar hot path of the transfer-learning pipeline: columns come
+        straight from :meth:`~repro.core.history.SearchHistory.top_quantile_columns`
+        (or any :class:`~repro.core.space.ColumnBatch` / ``{name: column}``
+        mapping covering the transform's parameters) and no per-row dict is
+        ever built.  A batch of the transform's own space reuses its memoised
+        categorical index columns.
+        """
+        if isinstance(columns, ColumnBatch):
+            batch = columns
+            n = len(batch)
+            own_space = batch.space is self.space or batch.space == self.space
+            X = np.zeros((n, self._dim), dtype=float)
+            rows = np.arange(n)
+            for col in self._columns:
+                param = col.parameter
+                if col.is_categorical:
+                    if own_space:
+                        idx = batch.discrete_indices(param)
+                    else:
+                        idx = param.indices_vec(batch.column(param.name))  # type: ignore[attr-defined]
+                    X[rows, col.start + idx] = 1.0
+                else:
+                    X[:, col.start] = param.to_unit_vec(batch.column(param.name))
+            return X
+        lengths = {np.shape(np.asarray(columns[c.parameter.name]))[0] for c in self._columns}
+        if len(lengths) != 1:
+            raise ValueError(f"columns must have equal length, got {sorted(lengths)}")
+        return self._encode_column_values(lengths.pop(), columns)
+
+    def _encode_column_values(
+        self, n: int, columns: Mapping[str, Sequence]
+    ) -> np.ndarray:
+        """Shared column-codec pass behind :meth:`encode`/:meth:`encode_columns`."""
         X = np.zeros((n, self._dim), dtype=float)
         rows = np.arange(n)
         for col in self._columns:
-            values = [config[col.parameter.name] for config in configurations]
+            values = columns[col.parameter.name]
             if col.is_categorical:
                 idx = col.parameter.indices_vec(values)  # type: ignore[attr-defined]
                 X[rows, col.start + idx] = 1.0

@@ -15,6 +15,19 @@ autotuning histories):
 Everything — forward pass, backward pass, training loop, sampling — is
 implemented with NumPy; the gradients are verified against finite differences
 in the test suite.
+
+Two training entry points exist:
+
+* :meth:`TabularVAE.fit` — one model, the reference training loop (with
+  preallocated per-epoch batch buffers);
+* :class:`VAEFleet` — ``K`` structurally identical models trained in fused
+  lock-step epochs over stacked ``(K, batch, dim)`` activations, one batched
+  contraction per layer.  Every member's weights, training trace and RNG
+  state end up **bitwise identical** to ``K`` sequential
+  :meth:`TabularVAE.fit` calls with the same seeds (asserted by the test
+  suite and by ``benchmarks/bench_vae_fleet.py``); the fleet only changes
+  wall-clock time.  ``VAEFleet.fit(..., fused=False)`` is the sequential
+  escape hatch.
 """
 
 from __future__ import annotations
@@ -24,10 +37,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.vae.layers import Dense, MLP
-from repro.core.vae.optim import Adam
+from repro.core.vae.layers import Dense, DenseFleet, MLP, MLPFleet
+from repro.core.vae.optim import Adam, AdamFleet
 
-__all__ = ["TabularVAE", "TrainingTrace"]
+__all__ = ["TabularVAE", "TrainingTrace", "VAEFleet", "vae_fleet_key"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -39,10 +52,27 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
+def _slice_sums(arr: np.ndarray) -> np.ndarray:
+    """Per-leading-slice totals of a stacked array, one ``np.sum`` per slice.
+
+    The trace terms must reduce each member's slice exactly as the solo fit
+    reduces its 2-D array.  Full reductions traverse *memory* order, and the
+    fancy-indexed loss operands carry an advanced-axis-outermost layout that
+    ``np.sum(arr[k])`` preserves — whereas clever stacked alternatives
+    (``arr.sum(axis=(1, 2))``, ``arr.reshape(K, -1).sum(axis=1)``) re-block
+    or re-copy the reduction and drift by an ulp.  Per-slice sums keep the
+    fleet traces bitwise identical to sequential fits.
+    """
+    return np.asarray([float(np.sum(arr[k])) for k in range(arr.shape[0])])
+
+
 def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=1, keepdims=True)
+    # Normalise along the last axis so the same kernel serves both the solo
+    # (batch, block) and the fleet-stacked (K, batch, block) activations;
+    # per-row arithmetic is unchanged either way.
+    shifted = x - x.max(axis=-1, keepdims=True)
     ex = np.exp(shifted)
-    return ex / ex.sum(axis=1, keepdims=True)
+    return ex / ex.sum(axis=-1, keepdims=True)
 
 
 @dataclass
@@ -197,12 +227,18 @@ class TabularVAE:
         n = X.shape[0]
         batch_size = max(1, min(batch_size, n))
         trace = TrainingTrace(loss=[], reconstruction=[], kl=[])
+        # One gather buffer for the whole fit: each minibatch is copied into
+        # it instead of fancy-indexing a fresh array per step (values are
+        # identical; only the per-minibatch allocation disappears).
+        batch_buf = np.empty((batch_size, X.shape[1]), dtype=float)
 
         for _ in range(epochs):
             order = self.rng.permutation(n)
             epoch_recon, epoch_kl, batches = 0.0, 0.0, 0
             for start in range(0, n, batch_size):
-                batch = X[order[start : start + batch_size]]
+                rows = min(batch_size, n - start)
+                batch = batch_buf[:rows]
+                np.take(X, order[start : start + rows], axis=0, out=batch)
                 self._zero_grad()
                 recon_loss, kl, grad_logits, z, cache = self._loss_and_grad(batch)
 
@@ -260,3 +296,233 @@ class TabularVAE:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         recon_loss, kl, _, _, _ = self._loss_and_grad(X)
         return recon_loss + self.beta * kl
+
+
+# -------------------------------------------------------------------- fleets
+def vae_fleet_key(
+    vae: TabularVAE,
+    n_rows: int,
+    epochs: int,
+    batch_size: int,
+    lr: float = 1e-3,
+) -> Tuple:
+    """The training configuration a fused :class:`VAEFleet` pass must share.
+
+    Fleet members stack their activations, so they need identical network
+    structure, loss layout and per-epoch batch schedule.  Batch drivers
+    (:class:`~repro.service.runner.CampaignRunner`) group due VAE refits by
+    this key; :class:`VAEFleet` itself re-validates and rejects mixed fleets,
+    so the two can never silently drift apart.
+    """
+    return (
+        vae.input_dim,
+        vae.latent_dim,
+        tuple(layer.W.shape for layer in vae.encoder.layers if isinstance(layer, Dense)),
+        tuple(layer.W.shape for layer in vae.decoder.layers if isinstance(layer, Dense)),
+        tuple(type(layer).__name__ for layer in vae.encoder.layers),
+        tuple(type(layer).__name__ for layer in vae.decoder.layers),
+        tuple(vae.numeric_columns),
+        tuple(vae.categorical_blocks),
+        vae.beta,
+        vae.numeric_sigma,
+        int(n_rows),
+        int(epochs),
+        max(1, min(int(batch_size), int(n_rows))),
+        float(lr),
+    )
+
+
+class VAEFleet:
+    """Train ``K`` independent :class:`TabularVAE`\\ s in fused lock-step epochs.
+
+    The members' encoder/decoder stacks are fused into
+    :class:`~repro.core.vae.layers.MLPFleet`\\ s (one stacked ``(K, in, out)``
+    contraction per layer per step) and optimised by one
+    :class:`~repro.core.vae.optim.AdamFleet`; per-member RNG draws (epoch
+    permutations, reparameterisation noise) come from each member's own
+    generator in the member's own order.  Every member therefore finishes
+    with weights, :class:`TrainingTrace` and RNG state bitwise identical to a
+    sequential ``member.fit(...)`` — the fleet only amortises the Python and
+    NumPy dispatch overhead of the small per-layer operations across ``K``
+    models.
+
+    Members must be structurally identical (architecture, loss layout) and
+    train on datasets of equal shape with the same epochs/batch-size/learning
+    rate — group heterogeneous refits with :func:`vae_fleet_key` first.
+
+    Parameters
+    ----------
+    members:
+        The (distinct, unfitted or refittable) member VAEs.
+    """
+
+    def __init__(self, members: Sequence[TabularVAE]):
+        if not members:
+            raise ValueError("need at least one member VAE")
+        if len({id(m) for m in members}) != len(members):
+            raise ValueError("each VAE may appear only once per fleet")
+        self.members = list(members)
+        first = self.members[0]
+        for member in self.members[1:]:
+            if (
+                member.input_dim != first.input_dim
+                or member.latent_dim != first.latent_dim
+                or member.numeric_columns != first.numeric_columns
+                or member.categorical_blocks != first.categorical_blocks
+                or member.beta != first.beta
+                or member.numeric_sigma != first.numeric_sigma
+            ):
+                raise ValueError("incompatible fleet member: architectures and loss layouts must match")
+
+    @property
+    def fleet_size(self) -> int:
+        """Number of member VAEs."""
+        return len(self.members)
+
+    # -------------------------------------------------------------------- fit
+    def fit(
+        self,
+        datasets: Sequence[np.ndarray],
+        epochs: int = 300,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        fused: bool = True,
+    ) -> List[TrainingTrace]:
+        """Train every member on its own dataset, in fused lock-step epochs.
+
+        Parameters
+        ----------
+        datasets:
+            One training matrix per member, all of equal shape
+            ``(n, input_dim)``.
+        epochs, batch_size, lr:
+            Shared training budget (see :meth:`TabularVAE.fit`).
+        fused:
+            ``False`` is the sequential escape hatch: plain ``member.fit``
+            calls, one after the other.  Both settings produce bitwise
+            identical members; only wall-clock time differs.
+        """
+        if len(datasets) != len(self.members):
+            raise ValueError(f"need {len(self.members)} datasets, got {len(datasets)}")
+        mats = [np.atleast_2d(np.asarray(X, dtype=float)) for X in datasets]
+        shape = mats[0].shape
+        if any(X.shape != shape for X in mats):
+            raise ValueError("fused fleet training requires datasets of equal shape")
+        if shape[1] != self.members[0].input_dim:
+            raise ValueError(f"expected {self.members[0].input_dim} columns, got {shape[1]}")
+        if shape[0] < 1:
+            raise ValueError("cannot train on an empty dataset")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not fused:
+            return [
+                member.fit(X, epochs=epochs, batch_size=batch_size, lr=lr)
+                for member, X in zip(self.members, mats)
+            ]
+        return self._fit_fused(mats, epochs=epochs, batch_size=batch_size, lr=lr)
+
+    def _fit_fused(
+        self, mats: List[np.ndarray], epochs: int, batch_size: int, lr: float
+    ) -> List[TrainingTrace]:
+        members = self.members
+        K = len(members)
+        n, dim = mats[0].shape
+        latent = members[0].latent_dim
+        batch_size = max(1, min(batch_size, n))
+        numeric = members[0].numeric_columns
+        blocks = members[0].categorical_blocks
+        beta = members[0].beta
+        sigma = members[0].numeric_sigma
+
+        encoder = MLPFleet.from_members([m.encoder for m in members])
+        mu_head = DenseFleet.from_members([m.mu_head for m in members])
+        logvar_head = DenseFleet.from_members([m.logvar_head for m in members])
+        decoder = MLPFleet.from_members([m.decoder for m in members])
+        params = (
+            encoder.parameters()
+            + mu_head.parameters()
+            + logvar_head.parameters()
+            + decoder.parameters()
+        )
+        optimizer = AdamFleet(params, fleet_size=K, lr=lr)
+        traces = [TrainingTrace(loss=[], reconstruction=[], kl=[]) for _ in members]
+
+        # Preallocated per-step buffers (the fleet analogue of fit's gather
+        # buffer): the stacked minibatch and the reparameterisation noise.
+        batch_buf = np.empty((K, batch_size, dim), dtype=float)
+        eps_buf = np.empty((K, batch_size, latent), dtype=float)
+
+        for _ in range(epochs):
+            # Per-member draws in each member's own stream order (permutation
+            # first, then one noise draw per minibatch) keep the generators in
+            # lock step with a sequential member.fit.
+            orders = [member.rng.permutation(n) for member in members]
+            epoch_recon = np.zeros(K)
+            epoch_kl = np.zeros(K)
+            batches = 0
+            for start in range(0, n, batch_size):
+                rows = min(batch_size, n - start)
+                xb = batch_buf[:, :rows, :]
+                eps = eps_buf[:, :rows, :]
+                for k, member in enumerate(members):
+                    np.take(mats[k], orders[k][start : start + rows], axis=0, out=xb[k])
+                for k, member in enumerate(members):
+                    eps[k] = member.rng.standard_normal((rows, latent))
+
+                for _, grad in params:
+                    grad[...] = 0.0
+                h = encoder.forward(xb)
+                mu = mu_head.forward(h)
+                logvar = np.clip(logvar_head.forward(h), -10.0, 10.0)
+                std = np.exp(0.5 * logvar)
+                z = mu + eps * std
+                logits = decoder.forward(z)
+
+                # Per-batch loss scalars accumulate member-locally first and
+                # join the epoch totals once, matching the float addition
+                # order of the solo fit.  The per-member reductions run as one
+                # trailing-axes sum per term: NumPy reduces each leading slice
+                # over the same contiguous layout a solo fit sums, so the
+                # traces stay bit-identical.
+                batch_recon = np.zeros(K)
+                grad_logits = np.zeros_like(logits)
+                if numeric:
+                    rec_num = _sigmoid(logits[:, :, numeric])
+                    diff = rec_num - xb[:, :, numeric]
+                    grad_logits[:, :, numeric] = (
+                        diff / (sigma**2) * rec_num * (1.0 - rec_num)
+                    ) / rows
+                    batch_recon += (0.5 * _slice_sums((diff / sigma) ** 2)) / rows
+                for b_start, b_stop in blocks:
+                    probs = _softmax(logits[:, :, b_start:b_stop])
+                    target = xb[:, :, b_start:b_stop]
+                    grad_logits[:, :, b_start:b_stop] = (probs - target) / rows
+                    logp = np.log(np.clip(probs, 1e-12, None))
+                    batch_recon += -_slice_sums(target * logp) / rows
+                kl_terms = 1.0 + logvar - mu**2 - np.exp(logvar)
+                epoch_recon += batch_recon
+                epoch_kl += (-0.5 * _slice_sums(kl_terms)) / rows
+
+                grad_z = decoder.backward(grad_logits)
+                grad_mu = grad_z + beta * mu / rows
+                grad_logvar = (
+                    grad_z * eps * 0.5 * std
+                    + beta * 0.5 * (np.exp(logvar) - 1.0) / rows
+                )
+                grad_h = mu_head.backward(grad_mu) + logvar_head.backward(grad_logvar)
+                encoder.backward(grad_h)
+                optimizer.step()
+                batches += 1
+            for k, trace in enumerate(traces):
+                trace.reconstruction.append(float(epoch_recon[k]) / batches)
+                trace.kl.append(float(epoch_kl[k]) / batches)
+                trace.loss.append(trace.reconstruction[-1] + beta * trace.kl[-1])
+
+        encoder.write_back([m.encoder for m in members])
+        mu_head.write_back([m.mu_head for m in members])
+        logvar_head.write_back([m.logvar_head for m in members])
+        decoder.write_back([m.decoder for m in members])
+        for member, trace in zip(members, traces):
+            member.fitted = True
+            member.trace = trace
+        return traces

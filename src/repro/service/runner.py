@@ -13,7 +13,12 @@ lock-step *batch ticks* over their virtual-time evaluators:
    :func:`~repro.core.surrogate.random_forest.fit_forest_fleet` pass (the
    per-level NumPy overhead — the dominant refit cost at campaign scale —
    is paid once per tick instead of once per campaign);
-3. **ask** — every campaign proposes for its idle workers and submits.
+3. **prior refresh** — campaigns on the continuous-retuning scenario
+   (``CBOSearch(prior_refresh_interval=...)``, including transfer campaigns
+   seeded with a :class:`~repro.core.transfer.TransferLearningPrior`) whose
+   VAE refit falls due this tick train them as one fused
+   :class:`~repro.core.vae.tvae.VAEFleet` pass per compatible group;
+4. **ask** — every campaign proposes for its idle workers and submits.
 
 Because each campaign's operations run in exactly the order the sequential
 loop would run them, and the fleet fit is bit-identical per forest, the
@@ -46,6 +51,7 @@ from repro.core.surrogate.random_forest import (
     fleet_compatibility_key,
     predict_forest_fleet,
 )
+from repro.core.vae.tvae import VAEFleet, vae_fleet_key
 
 __all__ = ["CampaignSpec", "CampaignRunner"]
 
@@ -78,6 +84,13 @@ class CampaignRunner:
         Score the candidate pools of one tick's RF-backed asks in one fused
         :func:`~repro.core.surrogate.random_forest.predict_forest_fleet`
         traversal (default).  Bit-identical to per-campaign scoring.
+    batch_vae_fits:
+        Fuse the prior-refresh VAE refits that fall due in one tick
+        (campaigns running the continuous-retuning scenario,
+        ``CBOSearch(prior_refresh_interval=...)``) into a single
+        :class:`~repro.core.vae.tvae.VAEFleet` training pass per compatible
+        group (default).  Bit-identical per campaign to refitting each VAE
+        on its own; ``False`` keeps the per-campaign refits.
     run_batcher:
         Optional service-style evaluation batcher: a callable receiving the
         tick's submissions as ``[(spec_index, configurations), ...]`` and
@@ -95,6 +108,7 @@ class CampaignRunner:
         specs: Sequence[CampaignSpec],
         batch_surrogate_fits: bool = True,
         batch_candidate_scoring: bool = True,
+        batch_vae_fits: bool = True,
         run_batcher: Optional[Callable] = None,
     ):
         if not specs:
@@ -102,12 +116,18 @@ class CampaignRunner:
         self.specs = list(specs)
         self.batch_surrogate_fits = bool(batch_surrogate_fits)
         self.batch_candidate_scoring = bool(batch_candidate_scoring)
+        self.batch_vae_fits = bool(batch_vae_fits)
         self.run_batcher = run_batcher
         #: Number of batch ticks executed by the last :meth:`run`.
         self.num_ticks = 0
         #: Number of fleet fits and of surrogates fitted through them.
         self.num_fleet_fits = 0
         self.num_fleet_fitted_surrogates = 0
+        #: Prior-refresh counters: refreshes overall, fused VAEFleet passes,
+        #: and VAEs trained through those passes.
+        self.num_prior_refreshes = 0
+        self.num_vae_fleet_fits = 0
+        self.num_vae_fleet_members = 0
 
     # ------------------------------------------------------------------- run
     def run(self) -> List[SearchResult]:
@@ -139,6 +159,9 @@ class CampaignRunner:
         self.num_ticks = 0
         self.num_fleet_fits = 0
         self.num_fleet_fitted_surrogates = 0
+        self.num_prior_refreshes = 0
+        self.num_vae_fleet_fits = 0
+        self.num_vae_fleet_members = 0
 
         active = list(executions)
         while active:
@@ -156,6 +179,7 @@ class CampaignRunner:
                 execution.charge_tell()
                 ticking.append(execution)
             self._fit_fleet(fit_due)
+            self._refresh_priors(ticking)
 
             # ---- ask: candidate generation per campaign, fused scoring
             pairs = [(execution, execution.begin_ask()) for execution in ticking]
@@ -262,3 +286,55 @@ class CampaignRunner:
                 execution.optimizer.mark_fitted()
             self.num_fleet_fits += 1
             self.num_fleet_fitted_surrogates += len(group)
+
+    # -------------------------------------------------------- prior refreshes
+    def _refresh_priors(self, ticking: List[CampaignExecution]) -> None:
+        """Run the tick's due prior-refresh VAE refits, fused where possible.
+
+        Each due campaign's refit sits between its tell and its ask exactly
+        as in the sequential loop; refits of compatible shape (same space,
+        same ``prior_refresh_top_k``/epochs/batch size — grouped by
+        :func:`~repro.core.vae.tvae.vae_fleet_key`) train as one
+        :class:`~repro.core.vae.tvae.VAEFleet` pass, bit-identical per
+        campaign to a solo ``vae.fit``.
+        """
+        due = [
+            (execution, prepared)
+            for execution in ticking
+            for prepared in [execution.prepare_prior_refresh()]
+            if prepared is not None
+        ]
+        if not due:
+            return
+        self.num_prior_refreshes += len(due)
+        groups: Dict[Tuple, List] = {}
+        for execution, prepared in due:
+            if not self.batch_vae_fits:
+                key: Tuple = (id(execution),)
+            else:
+                key = vae_fleet_key(
+                    prepared.vae,
+                    prepared.design.shape[0],
+                    prepared.epochs,
+                    prepared.batch_size,
+                )
+            groups.setdefault(key, []).append((execution, prepared))
+        for group in groups.values():
+            if len(group) == 1:
+                _, prepared = group[0]
+                prepared.vae.fit(
+                    prepared.design,
+                    epochs=prepared.epochs,
+                    batch_size=prepared.batch_size,
+                )
+            else:
+                first = group[0][1]
+                VAEFleet([prepared.vae for _, prepared in group]).fit(
+                    [prepared.design for _, prepared in group],
+                    epochs=first.epochs,
+                    batch_size=first.batch_size,
+                )
+                self.num_vae_fleet_fits += 1
+                self.num_vae_fleet_members += len(group)
+            for execution, prepared in group:
+                execution.finish_prior_refresh(prepared)

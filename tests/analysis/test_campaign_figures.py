@@ -191,6 +191,25 @@ class TestFig3TableRegression:
         assert fig3_table(chain, sample_times=sample_times) == reference
 
 
+class TestCampaignIncumbentAt:
+    def test_matches_per_row_best_runtime_reference(self, small_campaign):
+        """The one-call-per-repetition resolution must match the former
+        per-(repetition, time) ``best_runtime_at`` scans exactly — including
+        times beyond the budget (clipped) and before the first success
+        (``inf``)."""
+        sample_times = (0.0, 150.0, 300.0, BUDGET, 2 * BUDGET)
+        matrix = small_campaign.incumbent_at(sample_times)
+        assert matrix.shape == (len(small_campaign.results), len(sample_times))
+        for i, result in enumerate(small_campaign.results):
+            for j, t in enumerate(sample_times):
+                reference = result.history.best_runtime_at(
+                    min(t, small_campaign.max_time)
+                )
+                assert matrix[i, j] == reference or (
+                    np.isinf(matrix[i, j]) and np.isinf(reference)
+                )
+
+
 class TestBatchedRepeatedSearch:
     def test_batched_runner_repetitions_match_sequential(self):
         kwargs = dict(

@@ -1,11 +1,18 @@
-"""Tests for campaign-level CSV persistence (save/load round trips)."""
+"""Tests for campaign-level CSV persistence (save/load round trips, cache)."""
 
 import numpy as np
 import pytest
 
+from repro.core.history import SearchHistory
 from repro.core.space import IntegerParameter, RealParameter, SearchSpace
 from repro.analysis.campaign import run_repeated_search
-from repro.analysis.csvio import load_campaign, load_histories, save_campaign
+from repro.analysis import csvio
+from repro.analysis.csvio import (
+    clear_history_cache,
+    load_campaign,
+    load_histories,
+    save_campaign,
+)
 
 
 def toy_space():
@@ -67,3 +74,51 @@ class TestSaveLoad:
         prior = fit_transfer_prior(history, toy_space(), epochs=20, seed=0)
         samples = prior.sample_configurations(10, np.random.default_rng(0))
         assert len(samples) == 10
+
+
+class TestParsedHistoryCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_history_cache()
+        yield
+        clear_history_cache()
+
+    def test_typed_parse_runs_once_per_file(self, campaign, tmp_path, monkeypatch):
+        directory = save_campaign(campaign, tmp_path / "campaign")
+        parses = []
+        original = SearchHistory.from_csv.__func__
+
+        def counting(cls, source, space, objective=None):
+            parses.append(str(source))
+            return original(cls, source, space, objective)
+
+        monkeypatch.setattr(SearchHistory, "from_csv", classmethod(counting))
+        first = load_histories(directory, toy_space())
+        assert len(parses) == len(first)
+        # load_campaign reads the very same CSVs: everything is served from
+        # the cache, no re-parse.
+        loaded = load_campaign(directory, toy_space())
+        assert len(parses) == len(first)
+        for a, b in zip(first, loaded.results):
+            assert a.to_csv() == b.history.to_csv()
+
+    def test_cached_loads_are_independent_copies(self, campaign, tmp_path):
+        directory = save_campaign(campaign, tmp_path / "campaign")
+        first = load_histories(directory, toy_space())[0]
+        first.record({"x": 0.5, "k": 3}, 12.0, 1.0, 2.0)
+        second = load_histories(directory, toy_space())[0]
+        assert len(second) == len(first) - 1
+
+    def test_rewritten_file_is_reparsed(self, campaign, tmp_path):
+        import os
+
+        directory = save_campaign(campaign, tmp_path / "campaign")
+        name = sorted(directory.glob("*.csv"))[0]
+        before = load_histories(directory, toy_space())[0]
+        # Truncate the CSV to the header plus one row and force a new mtime.
+        lines = name.read_text().splitlines()
+        name.write_text("\n".join(lines[:2]) + "\n")
+        os.utime(name, ns=(1, 1))
+        after = load_histories(directory, toy_space())[0]
+        assert len(after) == 1
+        assert len(before) > 1

@@ -261,6 +261,46 @@ class TestColumnarRowEquivalence:
         assert len(batch) == len(history.top_quantile(0.5))
 
 
+class TestTopKColumnsAndCopy:
+    @given(runtime_lists, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_top_k_matches_sorted_reference(self, runtimes, seed):
+        columnar, _ = build_histories(runtimes, seed)
+        k = max(1, len(runtimes) // 3)
+        batch = columnar.top_k_columns(k)
+        # Reference: best-objective-first over the successful evaluations,
+        # ties broken by insertion order.
+        successes = [
+            (ev.objective, i, ev)
+            for i, ev in enumerate(columnar)
+            if math.isfinite(ev.objective)
+        ]
+        successes.sort(key=lambda item: (-item[0], item[1]))
+        expected = [ev.configuration for _, _, ev in successes[:k]]
+        assert len(batch) == len(expected)
+        assert batch.to_configurations() == expected
+
+    def test_top_k_validation_and_empty(self):
+        space = make_space()
+        history = SearchHistory(space)
+        with pytest.raises(ValueError):
+            history.top_k_columns(0)
+        assert len(history.top_k_columns(3)) == 0
+
+    def test_copy_is_independent(self):
+        columnar, _ = build_histories([10.0, 20.0, float("nan"), 5.0], seed=3)
+        clone = columnar.copy()
+        assert clone.to_csv() == columnar.to_csv()
+        config = dict(columnar[0].configuration)
+        clone.record(config, 7.0, 10.0, 11.0)
+        assert len(clone) == len(columnar) + 1
+        assert columnar.to_csv() != clone.to_csv()
+        # The original keeps appending on its own buffers too.
+        columnar.record(config, 8.0, 12.0, 13.0)
+        assert len(columnar) == len(clone)
+        assert columnar[len(columnar) - 1].runtime != clone[len(clone) - 1].runtime
+
+
 class TestTypedCsvParsing:
     def test_integer_parameter_scientific_notation(self):
         param = IntegerParameter("batch", 1, 2048, log=True)

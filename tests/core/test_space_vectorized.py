@@ -92,6 +92,40 @@ class TestCodecEquivalence:
                     assert cf[p.name] == cs[p.name]
                     assert type(cf[p.name]) is type(cs[p.name])
 
+    @given(st.integers(min_value=0, max_value=100_000), st.integers(min_value=1, max_value=48))
+    @settings(max_examples=40, deadline=None)
+    def test_clip_columns_matches_per_row_clip(self, seed, n):
+        """clip_columns is the row-path clip mapped over whole columns —
+        including out-of-domain numerics that need clipping/rounding and
+        discrete values that must snap."""
+        space = mixed_space()
+        rng = np.random.default_rng(seed)
+        configs = space.sample(n, rng)
+        # Perturb some rows out of domain the way a changed-bounds transfer
+        # source would: numeric overshoot, non-integral ints, bogus category.
+        for config in configs:
+            if rng.random() < 0.4:
+                config["batch"] = int(config["batch"]) * 10
+            if rng.random() < 0.3:
+                config["fraction"] = float(config["fraction"]) + 5.0
+            if rng.random() < 0.2:
+                config["pes"] = 5  # not an allowed ordinal value, snaps
+            if rng.random() < 0.15:
+                # Non-finite values settle on a bound in both paths.
+                config["count"] = float("nan") if rng.random() < 0.5 else float("inf")
+        reference = [space.clip(config) for config in configs]
+        columns = {name: [c[name] for c in configs] for name in space.parameter_names}
+        clipped = space.clip_columns({k: np.asarray(v, dtype=object) for k, v in columns.items()})
+        for j, config in enumerate(reference):
+            for name, value in config.items():
+                assert clipped[name][j] == value
+                assert type(clipped[name][j]) is type(value)
+
+    def test_clip_columns_missing_parameter_rejected(self):
+        space = mixed_space()
+        with pytest.raises(ValueError):
+            space.clip_columns({"batch": np.asarray([1])})
+
     def test_linear_columns_match_bitwise(self):
         # No transcendental functions involved → exact equality required.
         space = SearchSpace(

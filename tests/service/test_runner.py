@@ -12,7 +12,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.search import CBOSearch
+from repro.core.history import SearchHistory
+from repro.core.search import CBOSearch, VAEABOSearch
 from repro.core.space import (
     CategoricalParameter,
     IntegerParameter,
@@ -20,6 +21,7 @@ from repro.core.space import (
     SearchSpace,
 )
 from repro.core.surrogate import RandomForestSurrogate
+from repro.core.transfer import TransferLearningPrior
 from repro.service import CampaignRunner, CampaignSpec, SharedWorkerPool
 
 
@@ -249,6 +251,137 @@ class TestHeterogeneousFleets:
         batched = CampaignRunner(specs).run()
         for a, b in zip(sequential, batched):
             assert_identical(a, b)
+
+
+def make_refresh_search(seed, space, **kwargs):
+    """A campaign on the continuous-retuning scenario (periodic VAE refresh)."""
+    params = dict(
+        num_workers=6,
+        surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
+        num_candidates=48,
+        n_initial_points=5,
+        prior_refresh_interval=8,
+        prior_refresh_top_k=8,
+        prior_refresh_epochs=12,
+        seed=seed,
+    )
+    params.update(kwargs)
+    return CBOSearch(space, run_function, **params)
+
+
+def make_source_history(space, n=60, seed=123):
+    history = SearchHistory(space)
+    rng = np.random.default_rng(seed)
+    for i, config in enumerate(space.sample(n, rng)):
+        history.record(config, run_function(config), float(i), float(i + 1))
+    return history
+
+
+class TestTransferCampaignFleet:
+    """The transfer scenario: TL-seeded campaigns with fused prior refreshes."""
+
+    def test_refresh_campaigns_match_sequential_runs(self):
+        space = make_space()
+        sequential = [
+            make_refresh_search(seed, space).run(max_time=700.0, max_evaluations=32)
+            for seed in range(3)
+        ]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(
+                    search=make_refresh_search(seed, space),
+                    max_time=700.0,
+                    max_evaluations=32,
+                )
+                for seed in range(3)
+            ]
+        )
+        batched = runner.run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        assert runner.num_prior_refreshes > 0
+        assert runner.num_vae_fleet_fits > 0
+        assert runner.num_vae_fleet_members <= runner.num_prior_refreshes
+
+    def test_batch_vae_fits_escape_hatch_matches(self):
+        space = make_space()
+        sequential = [
+            make_refresh_search(seed, space).run(max_time=600.0, max_evaluations=24)
+            for seed in range(2)
+        ]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(
+                    search=make_refresh_search(seed, space),
+                    max_time=600.0,
+                    max_evaluations=24,
+                )
+                for seed in range(2)
+            ],
+            batch_vae_fits=False,
+        )
+        batched = runner.run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        assert runner.num_prior_refreshes > 0
+        assert runner.num_vae_fleet_fits == 0
+
+    def test_transfer_seeded_campaigns_refresh_in_the_runner(self):
+        """Campaigns constructed with TransferLearningPriors keep refreshing
+        from their own incumbents inside the batched runner."""
+        space = make_space()
+        source = make_source_history(space)
+
+        def make(seed):
+            return VAEABOSearch(
+                space,
+                run_function,
+                source_history=source,
+                vae_epochs=15,
+                num_workers=6,
+                surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
+                num_candidates=48,
+                n_initial_points=5,
+                prior_refresh_interval=8,
+                prior_refresh_top_k=8,
+                prior_refresh_epochs=12,
+                seed=seed,
+            )
+
+        sequential = [make(seed).run(max_time=700.0, max_evaluations=28) for seed in range(2)]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(search=make(seed), max_time=700.0, max_evaluations=28)
+                for seed in range(2)
+            ]
+        )
+        batched = runner.run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        assert runner.num_prior_refreshes > 0
+
+    def test_solo_run_installs_refreshed_prior(self):
+        space = make_space()
+        search = make_refresh_search(0, space)
+        execution = search.start(max_time=700.0, max_evaluations=32)
+        while execution.advance():
+            pass
+        assert execution.num_prior_refreshes > 0
+        prior = execution.optimizer.prior
+        assert isinstance(prior, TransferLearningPrior)
+        # The refreshed prior spans the whole space (no new parameters) and
+        # carries the campaign's own top-k incumbents.
+        assert prior.new_parameters == []
+        assert len(prior.top_configurations) == search.prior_refresh_top_k
+
+    def test_refresh_knob_validation(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            CBOSearch(space, run_function, prior_refresh_interval=0)
+        with pytest.raises(ValueError):
+            CBOSearch(space, run_function, prior_refresh_interval=4, prior_refresh_top_k=0)
+        with pytest.raises(ValueError):
+            CBOSearch(space, run_function, prior_refresh_interval=4, prior_refresh_epochs=0)
 
 
 class TestFleetFitErrorPath:
