@@ -321,6 +321,16 @@ class BayesianOptimizer:
         """The encoded training matrix and objective vector (read-only views)."""
         return self._train_data()
 
+    @property
+    def fitted_rows(self) -> int:
+        """History rows already incorporated into the surrogate.
+
+        External fleet drivers use this to hand partial-fit-capable
+        surrogates only the rows of :meth:`training_data` appended since the
+        last fit — the same slice :meth:`fit_now` would hand them.
+        """
+        return self._n_fitted_rows
+
     def fit_now(self) -> None:
         """Fit the surrogate on the current training data (after :meth:`ingest`)."""
         X, y = self._train_data()

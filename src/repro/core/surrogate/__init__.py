@@ -20,14 +20,20 @@ this environment) behind the common
 
 from repro.core.surrogate.base import Surrogate, ConstantSurrogate
 from repro.core.surrogate.random_forest import DecisionTreeRegressor, RandomForestSurrogate
-from repro.core.surrogate.gaussian_process import GaussianProcessSurrogate
+from repro.core.surrogate.gaussian_process import (
+    GaussianProcessSurrogate,
+    GPFleet,
+    gp_fleet_key,
+)
 from repro.core.surrogate.tpe import TreeParzenEstimator
 
 __all__ = [
     "ConstantSurrogate",
     "DecisionTreeRegressor",
     "GaussianProcessSurrogate",
+    "GPFleet",
     "RandomForestSurrogate",
     "Surrogate",
     "TreeParzenEstimator",
+    "gp_fleet_key",
 ]

@@ -12,7 +12,15 @@ lock-step *batch ticks* over their virtual-time evaluators:
    random-forest surrogate refits are grouped into one
    :func:`~repro.core.surrogate.random_forest.fit_forest_fleet` pass (the
    per-level NumPy overhead — the dominant refit cost at campaign scale —
-   is paid once per tick instead of once per campaign);
+   is paid once per tick instead of once per campaign); due
+   Gaussian-process refits are grouped the same way into batched
+   :class:`~repro.core.surrogate.gaussian_process.GPFleet` passes — one
+   stacked ``(K, n, n)`` Cholesky per tick for members due a full refit,
+   one batched factor extension for members extending incrementally
+   (members keep their own ``refresh_growth`` schedules, so one campaign
+   can full-refit while its siblings extend) — grouped by
+   :func:`~repro.core.surrogate.gaussian_process.gp_fleet_key` with solo
+   fallbacks where history shapes can't align;
 3. **prior refresh** — campaigns on the continuous-retuning scenario
    (``CBOSearch(prior_refresh_interval=...)``, including transfer campaigns
    seeded with a :class:`~repro.core.transfer.TransferLearningPrior`) whose
@@ -45,6 +53,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.search import CampaignExecution, CBOSearch, SearchResult
 from repro.core.space import Configuration
+from repro.core.surrogate.gaussian_process import (
+    GaussianProcessSurrogate,
+    GPFleet,
+    gp_fleet_key,
+)
 from repro.core.surrogate.random_forest import (
     RandomForestSurrogate,
     fit_forest_fleet,
@@ -80,10 +93,23 @@ class CampaignRunner:
         on its own — same results, sequential-fit wall-clock; kept selectable
         so the benchmark can quantify the batching and the tests can compare
         both paths.
+    batch_gp_fits:
+        Group the due Gaussian-process refits of one tick into batched
+        :class:`~repro.core.surrogate.gaussian_process.GPFleet` passes
+        (default): one stacked Cholesky factorisation per full-refit group,
+        one batched factor extension per incremental group, grouped by
+        :func:`~repro.core.surrogate.gaussian_process.gp_fleet_key` (fleet
+        mode plus shapes — unequal history sizes fall back to solo fits).
+        Bit-identical per campaign; ``False`` fits each campaign's GP on its
+        own — the escape hatch the benchmark and the identity tests compare
+        against.
     batch_candidate_scoring:
         Score the candidate pools of one tick's RF-backed asks in one fused
         :func:`~repro.core.surrogate.random_forest.predict_forest_fleet`
-        traversal (default).  Bit-identical to per-campaign scoring.
+        traversal, and the GP-backed asks of equal candidate/training shape
+        through one fused
+        :meth:`~repro.core.surrogate.gaussian_process.GPFleet.predict`
+        cross-kernel pass (default).  Bit-identical to per-campaign scoring.
     batch_vae_fits:
         Fuse the prior-refresh VAE refits that fall due in one tick
         (campaigns running the continuous-retuning scenario,
@@ -109,6 +135,7 @@ class CampaignRunner:
         batch_surrogate_fits: bool = True,
         batch_candidate_scoring: bool = True,
         batch_vae_fits: bool = True,
+        batch_gp_fits: bool = True,
         run_batcher: Optional[Callable] = None,
     ):
         if not specs:
@@ -117,12 +144,20 @@ class CampaignRunner:
         self.batch_surrogate_fits = bool(batch_surrogate_fits)
         self.batch_candidate_scoring = bool(batch_candidate_scoring)
         self.batch_vae_fits = bool(batch_vae_fits)
+        self.batch_gp_fits = bool(batch_gp_fits)
         self.run_batcher = run_batcher
         #: Number of batch ticks executed by the last :meth:`run`.
         self.num_ticks = 0
         #: Number of fleet fits and of surrogates fitted through them.
         self.num_fleet_fits = 0
         self.num_fleet_fitted_surrogates = 0
+        #: GP fleet counters: batched full-refit passes, batched factor
+        #: extensions, GPs advanced through either, and fused posterior
+        #: scoring passes.
+        self.num_gp_fleet_full_fits = 0
+        self.num_gp_fleet_extends = 0
+        self.num_gp_fleet_members = 0
+        self.num_gp_fleet_predicts = 0
         #: Prior-refresh counters: refreshes overall, fused VAEFleet passes,
         #: and VAEs trained through those passes.
         self.num_prior_refreshes = 0
@@ -159,6 +194,10 @@ class CampaignRunner:
         self.num_ticks = 0
         self.num_fleet_fits = 0
         self.num_fleet_fitted_surrogates = 0
+        self.num_gp_fleet_full_fits = 0
+        self.num_gp_fleet_extends = 0
+        self.num_gp_fleet_members = 0
+        self.num_gp_fleet_predicts = 0
         self.num_prior_refreshes = 0
         self.num_vae_fleet_fits = 0
         self.num_vae_fleet_members = 0
@@ -168,17 +207,23 @@ class CampaignRunner:
             self.num_ticks += 1
             ticking: List[CampaignExecution] = []
             fit_due: List[CampaignExecution] = []
+            gp_due: List[CampaignExecution] = []
             for execution in active:
                 if execution.collect() is None:
                     continue
                 if execution.ingest_collected():
                     if self.batch_surrogate_fits and self._fleet_eligible(execution):
                         fit_due.append(execution)
+                    elif self.batch_gp_fits and isinstance(
+                        execution.optimizer.surrogate, GaussianProcessSurrogate
+                    ):
+                        gp_due.append(execution)
                     else:
                         execution.optimizer.fit_now()
                 execution.charge_tell()
                 ticking.append(execution)
             self._fit_fleet(fit_due)
+            self._fit_gp_fleet(gp_due)
             self._refresh_priors(ticking)
 
             # ---- ask: candidate generation per campaign, fused scoring
@@ -213,6 +258,7 @@ class CampaignRunner:
                         (id(execution), result)
                         for (execution, _), result in zip(group, results)
                     )
+                self._score_gp_fleet(pairs, scored)
 
             # ---- submit: batch the run-function calls when a batcher is given
             submissions: List[Tuple[int, CampaignExecution, List[Configuration]]] = []
@@ -286,6 +332,128 @@ class CampaignRunner:
                 execution.optimizer.mark_fitted()
             self.num_fleet_fits += 1
             self.num_fleet_fitted_surrogates += len(group)
+
+    def _fit_gp_fleet(self, fit_due: List[CampaignExecution]) -> None:
+        """Fit the due GP surrogates, grouped by fleet mode and shape.
+
+        :func:`~repro.core.surrogate.gaussian_process.gp_fleet_key` splits
+        the tick's due GPs into batched full refits (equal total sizes) and
+        batched factor extensions (equal old/new sizes) — each member keeps
+        its own ``refresh_growth`` schedule, so one campaign can full-refit
+        while its siblings extend.  Groups of one (ragged history sizes are
+        the norm for GPs) and degenerate shared-surrogate setups take the
+        sequential ``fit_now`` path: a fleet of one is the solo fit.
+        """
+        groups: Dict[Tuple, List[Tuple[CampaignExecution, object, object]]] = {}
+        for execution in fit_due:
+            optimizer = execution.optimizer
+            X, y = optimizer.training_data()
+            num_new = X.shape[0] - optimizer.fitted_rows
+            key = gp_fleet_key(optimizer.surrogate, X.shape[0], num_new, X.shape[1])
+            groups.setdefault(key, []).append((execution, X, y))
+        for key, group in groups.items():
+            seen_ids = {id(execution.optimizer.surrogate) for execution, _, _ in group}
+            if len(group) == 1 or len(seen_ids) != len(group):
+                for execution, _, _ in group:
+                    execution.optimizer.fit_now()
+                continue
+            fleet = GPFleet(
+                [execution.optimizer.surrogate for execution, _, _ in group]
+            )
+            if key[0] == "extend":
+                fleet.partial_fit(
+                    [X[execution.optimizer.fitted_rows :] for execution, X, _ in group],
+                    [y[execution.optimizer.fitted_rows :] for execution, _, y in group],
+                )
+                self.num_gp_fleet_extends += 1
+            else:
+                fleet.fit(
+                    [X for _, X, _ in group],
+                    [y for _, _, y in group],
+                )
+                self.num_gp_fleet_full_fits += 1
+            for execution, _, _ in group:
+                execution.optimizer.mark_fitted()
+            self.num_gp_fleet_members += len(group)
+
+    def _score_gp_fleet(self, pairs, scored: Dict[int, Tuple]) -> None:
+        """Fuse the tick's GP-backed candidate scoring where shapes align.
+
+        Pools of equal candidate shape score through a single
+        :meth:`~repro.core.surrogate.gaussian_process.GPFleet.predict`
+        cross-kernel pass — bit-identical per campaign to solo scoring;
+        training-set sizes may be ragged (the fused cross-kernel works on
+        concatenated training rows).  Singleton groups fall through to the
+        per-campaign path.
+        """
+        pool = [
+            (execution, prepared)
+            for execution, prepared in pairs
+            if prepared is not None
+            and prepared.proposals is None
+            and prepared.wants_scores
+            and isinstance(execution.optimizer.surrogate, GaussianProcessSurrogate)
+            and execution.optimizer.surrogate.fitted
+        ]
+        by_shape: Dict[Tuple, List[Tuple[CampaignExecution, object]]] = {}
+        for execution, prepared in pool:
+            by_shape.setdefault(tuple(prepared.encoded.shape), []).append(
+                (execution, prepared)
+            )
+        for shape, group in by_shape.items():
+            if len(group) < 2:
+                continue
+            seen_ids = {id(execution.optimizer.surrogate) for execution, _ in group}
+            if len(seen_ids) != len(group):
+                continue
+            for chunk in self._chunk_gp_predicts(shape[0], group):
+                if len(chunk) < 2:
+                    continue
+                results = GPFleet(
+                    [execution.optimizer.surrogate for execution, _ in chunk]
+                ).predict([prepared.encoded for _, prepared in chunk])
+                scored.update(
+                    (id(execution), result)
+                    for (execution, _), result in zip(chunk, results)
+                )
+                self.num_gp_fleet_predicts += 1
+
+    #: Element budget of one fused GP scoring sheet (the ``(nc, Σn)``
+    #: cross-kernel).  Fusing amortises NumPy dispatch, but a sheet that
+    #: outgrows the CPU cache pays more in memory traffic than it saves in
+    #: call overhead (measured on the 1-CPU box), so big ticks are scored in
+    #: cache-sized chunks — still bit-identical, chunk composition only
+    #: changes wall-clock.
+    gp_predict_chunk_elements = 8192
+
+    def _chunk_gp_predicts(self, num_candidates: int, group: List) -> List[List]:
+        """Split one scoring group into cache-sized fused chunks.
+
+        Members are packed smallest-first so small members fuse together
+        instead of being split into skipped singletons by one large
+        neighbour; chunk composition only changes wall-clock, never results
+        (each member's slice is bitwise independent).
+        """
+        sized = sorted(
+            (
+                (num_candidates * execution.optimizer.surrogate.training_size,
+                 (execution, prepared))
+                for execution, prepared in group
+            ),
+            key=lambda pair: pair[0],
+        )
+        chunks: List[List] = []
+        current: List = []
+        elements = 0
+        for member_elements, item in sized:
+            if current and elements + member_elements > self.gp_predict_chunk_elements:
+                chunks.append(current)
+                current, elements = [], 0
+            current.append(item)
+            elements += member_elements
+        if current:
+            chunks.append(current)
+        return chunks
 
     # -------------------------------------------------------- prior refreshes
     def _refresh_priors(self, ticking: List[CampaignExecution]) -> None:

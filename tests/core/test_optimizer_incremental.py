@@ -13,37 +13,11 @@ import math
 import numpy as np
 import pytest
 
+from fixtures import make_wide_space as make_space, wide_objective as fake_objective
 from repro.core.history import SearchHistory
 from repro.core.optimizer import BayesianOptimizer
 from repro.core.search import CBOSearch, VAEABOSearch
-from repro.core.space import (
-    CategoricalParameter,
-    IntegerParameter,
-    OrdinalParameter,
-    RealParameter,
-    SearchSpace,
-)
-
-
-def make_space():
-    return SearchSpace(
-        [
-            IntegerParameter("batch", 1, 2048, log=True),
-            RealParameter("rate", 0.5, 100.0, log=True),
-            RealParameter("fraction", -1.0, 1.0),
-            CategoricalParameter("pool", ("fifo", "fifo_wait", "prio_wait")),
-            OrdinalParameter("pes", (1, 2, 4, 8, 16, 32)),
-            CategoricalParameter.boolean("busy"),
-        ]
-    )
-
-
-def fake_objective(config):
-    value = -abs(math.log(config["batch"]) - 3.0) - abs(config["fraction"])
-    value -= 0.1 * config["pes"]
-    if config["pool"] == "fifo":
-        value += 0.25
-    return value
+from repro.core.space import CategoricalParameter, IntegerParameter, SearchSpace
 
 
 def run_ask_tell(incremental, surrogate, rounds=8, batch=4, seed=123):

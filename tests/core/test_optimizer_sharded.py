@@ -7,42 +7,14 @@ must produce **bit-identical** proposal trajectories — mirroring the
 ``incremental=False`` regression style of ``test_optimizer_incremental``.
 """
 
-import math
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from fixtures import make_wide_space as make_space, wide_objective as fake_objective
 from repro.core.optimizer import BayesianOptimizer
-from repro.core.space import (
-    CategoricalParameter,
-    IntegerParameter,
-    OrdinalParameter,
-    RealParameter,
-    SearchSpace,
-)
-
-
-def make_space():
-    return SearchSpace(
-        [
-            IntegerParameter("batch", 1, 2048, log=True),
-            RealParameter("rate", 0.5, 100.0, log=True),
-            RealParameter("fraction", -1.0, 1.0),
-            CategoricalParameter("pool", ("fifo", "fifo_wait", "prio_wait")),
-            OrdinalParameter("pes", (1, 2, 4, 8, 16, 32)),
-            CategoricalParameter.boolean("busy"),
-        ]
-    )
-
-
-def fake_objective(config):
-    value = -abs(math.log(config["batch"]) - 3.0) - abs(config["fraction"])
-    value -= 0.1 * config["pes"]
-    if config["pool"] == "fifo":
-        value += 0.25
-    return value
 
 
 def run_ask_tell(score_shards, surrogate, seed, rounds=7, batch=4, executor=None):

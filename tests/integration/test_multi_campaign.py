@@ -10,11 +10,10 @@ with ``-m "not slow"`` (a reduced-size version of the same property runs in
 ``tests/service/test_runner.py``).
 """
 
-import math
-
 import numpy as np
 import pytest
 
+from fixtures import assert_results_identical
 from repro.core.search import CBOSearch
 from repro.core.surrogate import RandomForestSurrogate
 from repro.hep import HEPWorkflowProblem
@@ -84,16 +83,6 @@ def test_eight_concurrent_campaigns_bit_identical_to_sequential(problem, applica
 
     assert len(batched) == NUM_CAMPAIGNS
     assert runner.num_fleet_fits > 0
-    for i, (a, b) in enumerate(zip(sequential, batched)):
+    for a, b in zip(sequential, batched):
         assert a.num_evaluations == MAX_EVALUATIONS
-        assert len(a.history) == len(b.history), f"campaign {i}"
-        for ev_a, ev_b in zip(a.history, b.history):
-            assert ev_a.configuration == ev_b.configuration, f"campaign {i}"
-            assert ev_a.submitted == ev_b.submitted, f"campaign {i}"
-            assert ev_a.completed == ev_b.completed, f"campaign {i}"
-            assert (ev_a.objective == ev_b.objective) or (
-                math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
-            ), f"campaign {i}"
-        assert a.busy_intervals == b.busy_intervals, f"campaign {i}"
-        assert a.worker_utilization == b.worker_utilization, f"campaign {i}"
-        assert a.best_configuration == b.best_configuration, f"campaign {i}"
+        assert_results_identical(a, b)

@@ -12,60 +12,19 @@ import math
 import numpy as np
 import pytest
 
+from fixtures import (
+    assert_results_identical as assert_identical,
+    make_gp_search,
+    make_service_search as make_search,
+    make_service_space as make_space,
+    service_run_function as run_function,
+)
 from repro.core.history import SearchHistory
 from repro.core.search import CBOSearch, VAEABOSearch
-from repro.core.space import (
-    CategoricalParameter,
-    IntegerParameter,
-    RealParameter,
-    SearchSpace,
-)
+from repro.core.space import IntegerParameter, RealParameter, SearchSpace
 from repro.core.surrogate import RandomForestSurrogate
 from repro.core.transfer import TransferLearningPrior
 from repro.service import CampaignRunner, CampaignSpec, SharedWorkerPool
-
-
-def make_space():
-    return SearchSpace(
-        [
-            IntegerParameter("batch", 1, 1024, log=True),
-            RealParameter("rate", 0.1, 50.0, log=True),
-            CategoricalParameter("pool", ("fifo", "prio", "wait")),
-            CategoricalParameter.boolean("busy"),
-        ]
-    )
-
-
-def run_function(config):
-    value = abs(math.log(config["batch"]) - 4.0) + 0.3 * math.log(config["rate"])
-    value += 1.0 if config["pool"] == "wait" else 0.0
-    return 30.0 + 12.0 * value
-
-
-def make_search(seed, space, **kwargs):
-    params = dict(
-        num_workers=6,
-        surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
-        num_candidates=48,
-        n_initial_points=5,
-        seed=seed,
-    )
-    params.update(kwargs)
-    return CBOSearch(space, run_function, **params)
-
-
-def assert_identical(a, b):
-    assert len(a.history) == len(b.history)
-    for ev_a, ev_b in zip(a.history, b.history):
-        assert ev_a.configuration == ev_b.configuration
-        assert ev_a.submitted == ev_b.submitted
-        assert ev_a.completed == ev_b.completed
-        assert (ev_a.objective == ev_b.objective) or (
-            math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
-        )
-    assert a.busy_intervals == b.busy_intervals
-    assert a.worker_utilization == b.worker_utilization
-    assert a.best_configuration == b.best_configuration
 
 
 class TestRunnerBitIdentity:
@@ -101,16 +60,12 @@ class TestRunnerBitIdentity:
     def test_runner_with_gp_campaigns_matches_sequential(self):
         space = make_space()
         sequential = [
-            CBOSearch(space, run_function, num_workers=4, surrogate="GP",
-                      num_candidates=32, n_initial_points=4, seed=seed).run(
-                max_time=400.0, max_evaluations=16
-            )
+            make_gp_search(seed, space).run(max_time=400.0, max_evaluations=16)
             for seed in range(2)
         ]
         specs = [
             CampaignSpec(
-                search=CBOSearch(space, run_function, num_workers=4, surrogate="GP",
-                                 num_candidates=32, n_initial_points=4, seed=seed),
+                search=make_gp_search(seed, space),
                 max_time=400.0,
                 max_evaluations=16,
             )
@@ -401,3 +356,115 @@ class TestFleetFitErrorPath:
         reference.fit(X, y)
         for ta, tb in zip(good._trees, reference._trees):
             assert np.array_equal(ta.threshold, tb.threshold)
+
+
+class TestGPFleetRunnerIdentity:
+    """GP campaigns through the batched runner are bit-identical to solo runs.
+
+    The GP counterpart of the RF/VAE runner identity tests: batched GPFleet
+    fits (stacked Cholesky full refits, concatenated factor extensions) and
+    fused posterior scoring must not change any campaign's results — the
+    ``batch_gp_fits``/``batch_candidate_scoring`` escape hatches reproduce the
+    same searches with the fusion off.  A reduced size runs in tier-1; the
+    full 8-campaign fleet is marked ``slow``.
+    """
+
+    @pytest.mark.parametrize(
+        "batch_gp_fits,batch_scoring",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_gp_campaigns_match_sequential(self, batch_gp_fits, batch_scoring):
+        space = make_space()
+        sequential = [
+            make_gp_search(seed, space, num_workers=6, n_initial_points=5).run(
+                max_time=600.0, max_evaluations=22
+            )
+            for seed in range(3)
+        ]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(
+                    search=make_gp_search(seed, space, num_workers=6, n_initial_points=5),
+                    max_time=600.0,
+                    max_evaluations=22,
+                )
+                for seed in range(3)
+            ],
+            batch_gp_fits=batch_gp_fits,
+            batch_candidate_scoring=batch_scoring,
+        )
+        batched = runner.run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        fleet_passes = runner.num_gp_fleet_extends + runner.num_gp_fleet_full_fits
+        if batch_gp_fits:
+            assert fleet_passes > 0
+            assert runner.num_gp_fleet_members >= 2 * fleet_passes
+        else:
+            assert fleet_passes == 0
+            assert runner.num_gp_fleet_members == 0
+        if batch_scoring and batch_gp_fits:
+            assert runner.num_gp_fleet_predicts > 0
+        if not batch_scoring:
+            assert runner.num_gp_fleet_predicts == 0
+
+    def test_mixed_rf_and_gp_fleet_campaigns(self):
+        """RF and GP campaigns in one runner each fuse with their own kind."""
+        space = make_space()
+
+        def searches():
+            return [
+                make_search(0, space),
+                make_gp_search(1, space, num_workers=6, n_initial_points=5),
+                make_search(2, space),
+                make_gp_search(3, space, num_workers=6, n_initial_points=5),
+            ]
+
+        sequential = [s.run(max_time=500.0, max_evaluations=18) for s in searches()]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(search=s, max_time=500.0, max_evaluations=18)
+                for s in searches()
+            ]
+        )
+        batched = runner.run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        assert runner.num_fleet_fits > 0
+        assert runner.num_gp_fleet_extends + runner.num_gp_fleet_full_fits > 0
+
+
+@pytest.mark.slow
+class TestGPFleetRunnerFullSize:
+    def test_eight_gp_campaigns_bit_identical_to_sequential(self):
+        """Full-size acceptance: 8 concurrent GP campaigns, bit-identical."""
+        space = make_space()
+
+        def make(seed):
+            return make_gp_search(
+                seed, space, num_workers=8, num_candidates=96, n_initial_points=6
+            )
+
+        sequential = [
+            make(seed).run(max_time=float("inf"), max_evaluations=90)
+            for seed in range(8)
+        ]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(
+                    search=make(seed), max_time=float("inf"), max_evaluations=90
+                )
+                for seed in range(8)
+            ]
+        )
+        batched = runner.run()
+        assert len(batched) == 8
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        # At this size every fleet mode must have engaged: batched factor
+        # extensions, stacked full refits and fused posterior scoring.
+        assert runner.num_gp_fleet_extends > 0
+        assert runner.num_gp_fleet_full_fits > 0
+        assert runner.num_gp_fleet_predicts > 0
+        fleet_passes = runner.num_gp_fleet_extends + runner.num_gp_fleet_full_fits
+        assert runner.num_gp_fleet_members >= 2 * fleet_passes
