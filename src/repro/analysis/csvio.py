@@ -17,14 +17,18 @@ when several analysis entry points (:func:`load_campaign`,
 caller receives its own independent
 :meth:`~repro.core.history.SearchHistory.copy` of the cached columns.  A
 rewritten file (new mtime/size) re-parses; :func:`clear_history_cache` drops
-the cache explicitly.
+the cache explicitly.  The cache is bounded and truly least-recently-*used*:
+every hit refreshes its entry, so a bulk sweep that revisits a working set
+larger than the cap evicts the files it is done with, not the ones it is
+about to read again (:func:`set_history_cache_limit` adjusts the cap).
 """
 
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.core.history import SearchHistory
 from repro.core.objective import Objective
@@ -32,19 +36,26 @@ from repro.core.search import SearchResult
 from repro.core.space import SearchSpace
 from repro.analysis.campaign import CampaignResult
 
-__all__ = ["save_campaign", "load_campaign", "load_histories", "clear_history_cache"]
+__all__ = [
+    "save_campaign",
+    "load_campaign",
+    "load_histories",
+    "clear_history_cache",
+    "set_history_cache_limit",
+]
 
 MANIFEST_NAME = "campaign.json"
 
 #: Parsed-history cache: (resolved path, mtime_ns, size) → [(space, objective,
-#: parsed history), ...].  The short value list (almost always length 1)
-#: guards against the same file being parsed against different spaces.
-_HISTORY_CACHE: Dict[Tuple[str, int, int], List[Tuple[SearchSpace, Objective, SearchHistory]]] = {}
+#: parsed history), ...], in least-recently-used order (oldest first).  The
+#: short value list (almost always length 1) guards against the same file
+#: being parsed against different spaces.
+_HISTORY_CACHE: "OrderedDict[Tuple[str, int, int], List[Tuple[SearchSpace, Objective, SearchHistory]]]" = OrderedDict()
 
-#: Cache bound: beyond this many distinct files the oldest entries are
-#: evicted (insertion order), so bulk sweeps over hundreds of campaign
-#: directories still reuse parses within a directory pass without retaining
-#: every history ever loaded for the life of the process.
+#: Cache bound: beyond this many distinct files the least-recently-used
+#: entries are evicted, so bulk sweeps over hundreds of campaign directories
+#: still reuse parses within a directory pass without retaining every history
+#: ever loaded for the life of the process.
 _HISTORY_CACHE_MAX_FILES = 256
 
 
@@ -53,31 +64,54 @@ def clear_history_cache() -> None:
     _HISTORY_CACHE.clear()
 
 
+def set_history_cache_limit(max_files: int) -> int:
+    """Set the parsed-history cache bound; returns the previous bound.
+
+    Shrinking evicts least-recently-used entries immediately; ``0`` disables
+    caching (every load re-parses).
+    """
+    global _HISTORY_CACHE_MAX_FILES
+    if max_files < 0:
+        raise ValueError("max_files must be >= 0")
+    previous = _HISTORY_CACHE_MAX_FILES
+    _HISTORY_CACHE_MAX_FILES = int(max_files)
+    _evict_history_cache()
+    return previous
+
+
+def _evict_history_cache() -> None:
+    while len(_HISTORY_CACHE) > _HISTORY_CACHE_MAX_FILES:
+        _HISTORY_CACHE.popitem(last=False)
+
+
 def _load_history_cached(
     path: Path, space: SearchSpace, objective: Optional[Objective] = None
 ) -> SearchHistory:
     """Load one history CSV through the parsed-column cache.
 
     Returns an independent copy of the cached parse, so callers can extend
-    the history without corrupting later loads.
+    the history without corrupting later loads.  Hits move the entry to the
+    most-recently-used end, so eviction order follows *use*, not insertion.
     """
     stat = path.stat()
     resolved = str(path.resolve())
     key = (resolved, stat.st_mtime_ns, stat.st_size)
     wanted = objective or Objective()
-    if key not in _HISTORY_CACHE:
+    entries = _HISTORY_CACHE.get(key)
+    if entries is None:
         # A rewritten file invalidates its old entry; drop it so the cache
         # does not accumulate one stale parse per overwrite.
         for stale in [k for k in _HISTORY_CACHE if k[0] == resolved]:
             del _HISTORY_CACHE[stale]
-    entries = _HISTORY_CACHE.setdefault(key, [])
+        entries = _HISTORY_CACHE[key] = []
+    else:
+        _HISTORY_CACHE.move_to_end(key)
     for cached_space, cached_objective, history in entries:
         if cached_space == space and cached_objective == wanted:
             return history.copy()
     history = SearchHistory.from_csv(path, space, objective=objective)
     entries.append((space, wanted, history))
-    while len(_HISTORY_CACHE) > _HISTORY_CACHE_MAX_FILES:
-        _HISTORY_CACHE.pop(next(iter(_HISTORY_CACHE)))
+    _evict_history_cache()
     return history.copy()
 
 

@@ -26,12 +26,30 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.space import Configuration
+from repro.sim.faults import FaultDecision, FaultPlan, make_fault_plan
 
-__all__ = ["PendingEvaluation", "CompletedEvaluation", "WorkerState", "AsyncVirtualEvaluator"]
+__all__ = [
+    "PendingEvaluation",
+    "CompletedEvaluation",
+    "WorkerState",
+    "AsyncVirtualEvaluator",
+    "EvaluatorStalledError",
+]
 
 #: Default duration charged for evaluations that fail/time out (the paper
 #: kills a workflow instance after 600 s = 2 × 300 s steps).
 DEFAULT_FAILURE_DURATION = 600.0
+
+
+class EvaluatorStalledError(RuntimeError):
+    """No pending or queued evaluation can ever complete.
+
+    Raised by ``wait_any`` instead of looping (or advancing the clock)
+    forever when every outstanding evaluation hangs with no deadline to kill
+    it, or when queued work can never start because every worker has died.
+    Only fault injection can produce either situation; the fault-free
+    backends never raise this.
+    """
 
 
 def resolve_duration(
@@ -53,15 +71,62 @@ def resolve_duration(
     return failure_duration
 
 
+def resolve_outcome(
+    config: Configuration,
+    runtime: float,
+    duration_function: Optional[Callable[[Configuration, float], float]],
+    failure_duration: float,
+    deadline: Optional[float] = None,
+    decision: Optional[FaultDecision] = None,
+) -> Tuple[float, float]:
+    """Effective ``(runtime, duration)`` of an evaluation under faults.
+
+    Extends :func:`resolve_duration` with the two fault-tolerance layers,
+    applied in order so both backends agree bit for bit:
+
+    1. the fault decision — a ``fail`` replaces the measured runtime with
+       NaN before duration resolution, a straggler multiplies the resolved
+       duration, a hang makes it infinite;
+    2. the deadline (the paper's 600 s kill limit) — any duration exceeding
+       it is cut to the deadline and the measurement becomes NaN (the
+       workflow instance was killed, so no result was produced).
+
+    With ``deadline=None`` and a healthy decision this is exactly
+    :func:`resolve_duration`; the fault-free path is unchanged.
+    """
+    if decision is not None and decision.fail:
+        runtime = float("nan")
+    duration = resolve_duration(config, runtime, duration_function, failure_duration)
+    if decision is not None:
+        if decision.straggler_factor != 1.0:
+            duration *= decision.straggler_factor
+        if decision.hang:
+            duration = math.inf
+    if deadline is not None and duration > deadline:
+        duration = deadline
+        runtime = float("nan")
+    return runtime, duration
+
+
 @dataclass
 class PendingEvaluation:
-    """An evaluation currently running on a worker."""
+    """An evaluation currently running on a worker.
+
+    ``seq`` is the evaluator-wide submission sequence number (used to key
+    deterministic fault decisions); ``lost``/``crashed`` mark evaluations
+    whose results will never reach the manager — at ``completes_at`` the
+    worker is freed (``lost``) or dies (``crashed``) without delivering a
+    result.  Fault-free evaluations always have ``lost == crashed == False``.
+    """
 
     configuration: Configuration
     worker: int
     submitted: float
     completes_at: float
     runtime: float
+    seq: int = -1
+    lost: bool = False
+    crashed: bool = False
 
 
 @dataclass(frozen=True)
@@ -73,6 +138,7 @@ class CompletedEvaluation:
     submitted: float
     completed: float
     runtime: float
+    seq: int = -1
 
     @property
     def duration(self) -> float:
@@ -92,9 +158,11 @@ class WorkerState:
     @property
     def idle(self) -> bool:
         """Whether the worker currently has no assigned evaluation."""
-        return self.evaluations_running == 0
+        return self.evaluations_running == 0 and not self.dead
 
     evaluations_running: int = 0
+    #: A crashed worker never accepts work again (fault injection only).
+    dead: bool = False
 
 
 class AsyncVirtualEvaluator:
@@ -114,6 +182,15 @@ class AsyncVirtualEvaluator:
         Optional override mapping ``(configuration, runtime)`` to the virtual
         duration of the evaluation; defaults to ``runtime`` for finite values
         and ``failure_duration`` otherwise.
+    deadline:
+        Optional per-evaluation kill limit: an evaluation whose duration
+        would exceed it is cut off at the deadline and reported as failed
+        (NaN runtime) — the paper's 600 s kill-limit semantics.
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` injecting deterministic
+        worker crashes, hangs, stragglers and lost results.  ``None`` (or an
+        all-zero plan) leaves every path bit-identical to the fault-free
+        evaluator.
     """
 
     def __init__(
@@ -122,26 +199,34 @@ class AsyncVirtualEvaluator:
         num_workers: int = 128,
         failure_duration: float = DEFAULT_FAILURE_DURATION,
         duration_function: Optional[Callable[[Configuration, float], float]] = None,
+        deadline: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if failure_duration <= 0:
             raise ValueError("failure_duration must be positive")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         self.run_function = run_function
         self.num_workers = int(num_workers)
         self.failure_duration = float(failure_duration)
         self.duration_function = duration_function
+        self.deadline = None if deadline is None else float(deadline)
+        self.fault_plan = make_fault_plan(fault_plan)
         self.workers = [WorkerState(index=i) for i in range(self.num_workers)]
         self._pending: List[PendingEvaluation] = []
         self.now = 0.0
         self.num_submitted = 0
         self.num_collected = 0
+        self.num_lost = 0
+        self._next_seq = 0
         self._started_intervals: List[Tuple[float, float]] = []
 
     # ------------------------------------------------------------- submission
     def idle_workers(self) -> List[WorkerState]:
-        """Workers without a running evaluation."""
-        return [w for w in self.workers if w.evaluations_running == 0]
+        """Workers without a running evaluation (dead workers excluded)."""
+        return [w for w in self.workers if w.idle]
 
     @property
     def num_idle(self) -> int:
@@ -152,6 +237,11 @@ class AsyncVirtualEvaluator:
     def num_pending(self) -> int:
         """Number of evaluations currently running."""
         return len(self._pending)
+
+    @property
+    def num_dead(self) -> int:
+        """Number of workers that crashed and left service permanently."""
+        return sum(1 for w in self.workers if w.dead)
 
     def pending_evaluations(self) -> Tuple[PendingEvaluation, ...]:
         """Snapshot of the evaluations currently running (submission order)."""
@@ -188,7 +278,28 @@ class AsyncVirtualEvaluator:
             runtime = float(
                 self.run_function(config) if runtimes is None else runtimes[i]
             )
-            duration = self._duration(config, runtime)
+            seq = self._next_seq
+            self._next_seq += 1
+            decision = (
+                None if self.fault_plan is None else self.fault_plan.decide(seq)
+            )
+            runtime, duration = resolve_outcome(
+                config,
+                runtime,
+                self.duration_function,
+                self.failure_duration,
+                self.deadline,
+                decision,
+            )
+            lost = crashed = False
+            if decision is not None:
+                if decision.crash:
+                    # The worker dies part-way through; the evaluation is lost
+                    # and the "completion" event is the moment of death.
+                    crashed = lost = True
+                    duration = decision.crash_fraction * duration
+                elif decision.lost:
+                    lost = True
             self._pending.append(
                 PendingEvaluation(
                     configuration=dict(config),
@@ -196,11 +307,15 @@ class AsyncVirtualEvaluator:
                     submitted=self.now,
                     completes_at=self.now + duration,
                     runtime=runtime,
+                    seq=seq,
+                    lost=lost,
+                    crashed=crashed,
                 )
             )
             worker.evaluations_running += 1
             worker.busy_until = self.now + duration
-            worker.busy_time += duration
+            if math.isfinite(duration):
+                worker.busy_time += duration
             worker.evaluations += 1
             submitted += 1
             self.num_submitted += 1
@@ -232,15 +347,33 @@ class AsyncVirtualEvaluator:
         ordered by completion time.
         """
         horizon = self.now if until is None else until
-        done = [p for p in self._pending if p.completes_at <= horizon]
+        # A hung evaluation (infinite completion time) never fires, even
+        # against an infinite horizon.
+        done = [
+            p
+            for p in self._pending
+            if p.completes_at <= horizon and not math.isinf(p.completes_at)
+        ]
         if not done:
             return []
         done.sort(key=lambda p: p.completes_at)
-        self._pending = [p for p in self._pending if p.completes_at > horizon]
+        self._pending = [
+            p
+            for p in self._pending
+            if p.completes_at > horizon or math.isinf(p.completes_at)
+        ]
         completed = []
         for p in done:
             worker = self.workers[p.worker]
             worker.evaluations_running -= 1
+            if p.crashed:
+                worker.dead = True
+            if p.lost:
+                # The result never reaches the manager: the worker is freed
+                # (or dead) but nothing is delivered and nothing is retried —
+                # retry lives in the service layer's shared pool.
+                self.num_lost += 1
+                continue
             completed.append(
                 CompletedEvaluation(
                     configuration=p.configuration,
@@ -248,6 +381,7 @@ class AsyncVirtualEvaluator:
                     submitted=p.submitted,
                     completed=p.completes_at,
                     runtime=p.runtime,
+                    seq=p.seq,
                 )
             )
             self.num_collected += 1
@@ -257,8 +391,16 @@ class AsyncVirtualEvaluator:
         """Advance to the next completion (capped at ``max_time``) and collect.
 
         Returns the new manager time and the collected evaluations (empty if
-        the cap was reached before any completion).
+        the cap was reached before any completion).  Raises
+        :class:`EvaluatorStalledError` when evaluations are outstanding but
+        none can ever complete (every one of them hangs with no deadline) —
+        waiting would otherwise spin the clock forever.
         """
+        if self._pending and self.next_completion_time() == math.inf:
+            raise EvaluatorStalledError(
+                f"{len(self._pending)} pending evaluation(s) will never "
+                "complete (hung with no deadline)"
+            )
         target = min(self.next_completion_time(), max_time)
         if target < self.now:
             target = self.now
@@ -278,5 +420,93 @@ class AsyncVirtualEvaluator:
         for worker in self.workers:
             # busy_time counts full durations; clip the part beyond the horizon.
             over = max(0.0, worker.busy_until - horizon)
+            if not math.isfinite(over):
+                # A hung evaluation (infinite busy_until) contributes nothing
+                # beyond what busy_time recorded for its finite predecessors.
+                over = 0.0
             total_busy += max(0.0, worker.busy_time - over)
         return float(total_busy / (horizon * self.num_workers))
+
+    # ---------------------------------------------------------- durable state
+    def state_dict(self) -> Dict:
+        """JSON-serialisable snapshot of the evaluator's full dynamic state.
+
+        Together with the constructor arguments (run function, worker count,
+        failure duration, deadline, fault plan) this is sufficient to rebuild
+        the evaluator mid-campaign: the pending evaluations, per-worker
+        bookkeeping, virtual clock, counters and the fault-decision sequence
+        cursor.  Floats survive the JSON round trip bit-exactly (``repr``
+        shortest round-trip), which the resume bit-identity contract relies
+        on.
+        """
+        return {
+            "now": self.now,
+            "num_submitted": self.num_submitted,
+            "num_collected": self.num_collected,
+            "num_lost": self.num_lost,
+            "next_seq": self._next_seq,
+            "pending": [
+                {
+                    "configuration": dict(p.configuration),
+                    "worker": p.worker,
+                    "submitted": p.submitted,
+                    "completes_at": p.completes_at,
+                    "runtime": p.runtime,
+                    "seq": p.seq,
+                    "lost": p.lost,
+                    "crashed": p.crashed,
+                }
+                for p in self._pending
+            ],
+            "workers": [
+                {
+                    "busy_until": w.busy_until,
+                    "busy_time": w.busy_time,
+                    "evaluations": w.evaluations,
+                    "evaluations_running": w.evaluations_running,
+                    "dead": w.dead,
+                }
+                for w in self.workers
+            ],
+            "started_intervals": [list(t) for t in self._started_intervals],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this evaluator.
+
+        The evaluator must have been constructed with the same structural
+        arguments (worker count in particular) as the one that produced the
+        snapshot.
+        """
+        if len(state["workers"]) != self.num_workers:
+            raise ValueError(
+                f"snapshot has {len(state['workers'])} workers, "
+                f"evaluator has {self.num_workers}"
+            )
+        self.now = float(state["now"])
+        self.num_submitted = int(state["num_submitted"])
+        self.num_collected = int(state["num_collected"])
+        self.num_lost = int(state["num_lost"])
+        self._next_seq = int(state["next_seq"])
+        self._pending = [
+            PendingEvaluation(
+                configuration=dict(p["configuration"]),
+                worker=int(p["worker"]),
+                submitted=float(p["submitted"]),
+                completes_at=float(p["completes_at"]),
+                runtime=float(p["runtime"]),
+                seq=int(p["seq"]),
+                lost=bool(p["lost"]),
+                crashed=bool(p["crashed"]),
+            )
+            for p in state["pending"]
+        ]
+        for worker, w in zip(self.workers, state["workers"]):
+            worker.busy_until = float(w["busy_until"])
+            worker.busy_time = float(w["busy_time"])
+            worker.evaluations = int(w["evaluations"])
+            worker.evaluations_running = int(w["evaluations_running"])
+            worker.dead = bool(w["dead"])
+        self._started_intervals = [
+            (float(a), float(b)) for a, b in state["started_intervals"]
+        ]

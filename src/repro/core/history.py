@@ -43,6 +43,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.arrays import grow_buffer as _grow
+from repro.core.ioutil import atomic_write_text
 from repro.core.objective import Objective
 from repro.core.space import (
     ColumnBatch,
@@ -501,8 +502,18 @@ class SearchHistory:
         Used by the analysis layer's parsed-CSV cache to hand every caller
         its own history without re-parsing the file.
         """
+        return self.truncated(self._n)
+
+    def truncated(self, n: int) -> "SearchHistory":
+        """An independent copy holding only the first ``n`` evaluations.
+
+        The campaign journal replays prior refreshes against the exact
+        history prefix each refresh originally saw; a truncated copy is that
+        prefix without mutating the live history.
+        """
+        if not 0 <= n <= self._n:
+            raise ValueError(f"cannot truncate {self._n} rows to {n}")
         clone = SearchHistory(self.space, objective=self.objective)
-        n = self._n
         clone._n = n
         clone._capacity = n
         clone._objective_buf = self._objective_buf[:n].copy()
@@ -512,9 +523,35 @@ class SearchHistory:
         clone._worker_buf = self._worker_buf[:n].copy()
         clone._eval_id_buf = self._eval_id_buf[:n].copy()
         clone._param_bufs = {name: buf[:n].copy() for name, buf in self._param_bufs.items()}
-        clone._extras = {i: dict(extras) for i, extras in self._extras.items()}
+        clone._extras = {
+            i: dict(extras) for i, extras in self._extras.items() if i < n
+        }
         clone._incomplete_rows = self._incomplete_rows
         return clone
+
+    def column_block(self, start: int, stop: int):
+        """Raw column views of rows ``[start, stop)`` — the journal's window.
+
+        Returns ``(meta, params)``: the metadata columns keyed by their CSV
+        names and the parameter value columns (object dtype) keyed by
+        parameter name.  The arrays are *views* into the live buffers —
+        consume them before the next append (a capacity-doubling growth would
+        reallocate underneath them).
+        """
+        stop = min(int(stop), self._n)
+        start = max(0, int(start))
+        meta = {
+            "objective": self._objective_buf[start:stop],
+            "runtime": self._runtime_buf[start:stop],
+            "submitted": self._submitted_buf[start:stop],
+            "completed": self._completed_buf[start:stop],
+            "worker": self._worker_buf[start:stop],
+            "eval_id": self._eval_id_buf[start:stop],
+        }
+        params = {
+            name: buf[start:stop] for name, buf in self._param_bufs.items()
+        }
+        return meta, params
 
     # -------------------------------------------------------------------- csv
     CSV_META_COLUMNS = ("eval_id", "worker", "submitted", "completed", "runtime", "objective")
@@ -553,7 +590,9 @@ class SearchHistory:
             writer.writerow(row)
         text = buffer.getvalue()
         if path is not None:
-            Path(path).write_text(text)
+            # Crash-safe write: a process killed mid-write must not leave a
+            # torn CSV for the mtime/size-keyed parsed-history cache to trust.
+            atomic_write_text(path, text)
         return text
 
     @classmethod

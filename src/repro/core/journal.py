@@ -1,0 +1,449 @@
+"""Durable campaign journal: crash-safe sidecar for a running campaign.
+
+A one-hour campaign that dies at minute 55 — manager crash, node failure,
+queue eviction — loses everything under the CSV-only persistence model: the
+history CSV is written once at the end, and even if it were streamed, the
+optimizer's RNG cursor, the surrogate's fitted state and the evaluator's
+in-flight evaluations are not in it.  The journal fixes that without touching
+the CSV interchange format: each journaled campaign owns a sidecar directory
+holding
+
+* **append-only binary column files** mirroring the
+  :class:`~repro.core.history.SearchHistory` buffers — one little-endian
+  ``float64``/``int64`` file per metadata column, one per parameter
+  (categorical/ordinal values are stored as their domain index), plus one
+  file of ``(submitted, completed)`` busy-interval pairs;
+* **``meta.json``** — the immutable campaign fingerprint (space layout, seed,
+  worker count, budgets), written once and atomically at creation;
+* **``checkpoint.json``** — the small mutable record, atomically replaced at
+  every checkpoint *after* the data files are fsynced: row/interval counts,
+  the optimizer RNG state, the evaluator state, the surrogate *fit schedule*
+  (the history row count at every fit, plus the surrogate RNG state captured
+  just before the most recent fit) and the prior-refresh schedule.
+
+Recovery (:meth:`repro.core.search.CampaignExecution.resume`) never replays
+evaluations: the history rows are read back from the column files (truncated
+to the checkpointed counts, which discards any torn tail from a crash
+mid-append), the optimizer re-ingests them along the recorded fit boundaries
+— partial-fit surrogates (GP) replay every fit event so their incremental
+factors take the same growth path, from-scratch surrogates (RF) replay only
+the final fit after restoring the pre-fit RNG state — prior refreshes are
+re-trained against the same truncated history prefixes they originally saw,
+and the evaluator reloads its pending evaluations with their already-decided
+runtimes.  The resumed campaign is bit-identical to one that never crashed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.history import Evaluation, SearchHistory
+from repro.core.ioutil import atomic_write_text, fsync_file
+from repro.core.space import IntegerParameter, RealParameter, SearchSpace
+
+__all__ = ["CampaignJournal", "JournalError"]
+
+FORMAT_VERSION = 1
+META_NAME = "meta.json"
+CHECKPOINT_NAME = "checkpoint.json"
+
+#: Metadata columns journaled for every history row, in file order.
+_META_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("objective", "<f8"),
+    ("runtime", "<f8"),
+    ("submitted", "<f8"),
+    ("completed", "<f8"),
+    ("worker", "<i8"),
+    ("eval_id", "<i8"),
+)
+
+
+class JournalError(RuntimeError):
+    """A campaign journal is missing, malformed, or does not match the search."""
+
+
+def _json_default(value: Any):
+    """Encode the NumPy scalars that leak into evaluator state and configs."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"not JSON-serialisable: {value!r} ({type(value).__name__})")
+
+
+def _dump_json(payload: Dict) -> str:
+    # allow_nan keeps NaN/Infinity round-tripping (runtimes of failed and
+    # hung evaluations); repr-based float formatting is exact for float64.
+    return json.dumps(payload, default=_json_default, allow_nan=True)
+
+
+class _ParamCodec:
+    """Binary codec for one parameter's value column.
+
+    Real parameters store their values as ``float64`` (exact round trip);
+    integer parameters as ``int64``; categorical and ordinal parameters as
+    the ``int64`` index into their declared domain, so the decoded value is
+    the *identical* Python object the space defines (bools stay bools,
+    strings stay strings).
+    """
+
+    def __init__(self, param):
+        self.param = param
+        self.name = param.name
+        if isinstance(param, RealParameter):
+            self.dtype = "<f8"
+        elif isinstance(param, IntegerParameter):
+            self.dtype = "<i8"
+        elif getattr(param, "_domain", None) is not None:
+            self.dtype = "<i8"
+        else:
+            raise JournalError(
+                f"parameter {param.name!r} of type {type(param).__name__} "
+                "has no journal codec"
+            )
+
+    def encode(self, values: Sequence) -> np.ndarray:
+        param = self.param
+        if isinstance(param, RealParameter):
+            return np.asarray([float(v) for v in values], dtype="<f8")
+        if isinstance(param, IntegerParameter):
+            return np.asarray([int(v) for v in values], dtype="<i8")
+        return np.asarray([param.index_of(v) for v in values], dtype="<i8")
+
+    def decode(self, column: np.ndarray) -> List:
+        param = self.param
+        if isinstance(param, RealParameter):
+            return [float(v) for v in column]
+        if isinstance(param, IntegerParameter):
+            return [int(v) for v in column]
+        domain = param._domain
+        return [domain[int(v)] for v in column]
+
+
+def _space_fingerprint(space: SearchSpace) -> List[List[str]]:
+    return [[p.name, type(p).__name__] for p in space.parameters]
+
+
+class CampaignJournal:
+    """The writer side of one campaign's durable sidecar directory.
+
+    Use :meth:`create` for a fresh campaign (existing journal files in the
+    directory are truncated) and :meth:`attach` when resuming — attach rolls
+    the data files back to the last checkpoint's counts, discarding any torn
+    post-crash tail, and continues appending from there.
+
+    Parameters
+    ----------
+    directory:
+        The sidecar directory (created if missing).
+    space:
+        The campaign's search space (defines the column files).
+    fsync:
+        Whether to fsync the data files before each checkpoint record is
+        replaced (default).  Disabling trades crash durability for speed —
+        the journal stays *consistent* (the checkpoint still only references
+        rows it believes are on disk) but a power loss may roll further back.
+    checkpoint_interval:
+        Checkpoint every this-many manager ticks (1 = every tick).  Ticks
+        between checkpoints are lost on a crash and transparently re-executed
+        on resume — the replay is deterministic, so the result is unchanged.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        space: SearchSpace,
+        fsync: bool = True,
+        checkpoint_interval: int = 1,
+    ):
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self.directory = Path(directory)
+        self.space = space
+        self.fsync = bool(fsync)
+        self.checkpoint_interval = int(checkpoint_interval)
+        self._codecs = [_ParamCodec(p) for p in space.parameters]
+        self._handles: Dict[str, object] = {}
+        self.num_rows = 0
+        self.num_intervals = 0
+        self._fit_rows: List[int] = []
+        self._pre_fit_rng: Optional[Dict] = None
+        self._refresh_rows: List[int] = []
+
+    # ------------------------------------------------------------ file layout
+    def _meta_path(self) -> Path:
+        return self.directory / META_NAME
+
+    def _checkpoint_path(self) -> Path:
+        return self.directory / CHECKPOINT_NAME
+
+    def _data_files(self) -> List[Tuple[str, str]]:
+        """``(filename, dtype)`` of every data file, in a fixed order."""
+        files = [(f"m_{name}.bin", dtype) for name, dtype in _META_COLUMNS]
+        files.extend(
+            (f"p{i}.bin", codec.dtype) for i, codec in enumerate(self._codecs)
+        )
+        files.append(("intervals.bin", "<f8"))
+        return files
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        space: SearchSpace,
+        fsync: bool = True,
+        checkpoint_interval: int = 1,
+    ) -> "CampaignJournal":
+        """Open a fresh journal, truncating any previous files in the way."""
+        journal = cls(
+            directory, space, fsync=fsync, checkpoint_interval=checkpoint_interval
+        )
+        journal.directory.mkdir(parents=True, exist_ok=True)
+        checkpoint = journal._checkpoint_path()
+        if checkpoint.exists():
+            checkpoint.unlink()
+        for name, _ in journal._data_files():
+            (journal.directory / name).write_bytes(b"")
+        journal._open_handles()
+        return journal
+
+    @classmethod
+    def attach(
+        cls,
+        directory: Union[str, Path],
+        space: SearchSpace,
+        fsync: bool = True,
+        checkpoint_interval: int = 1,
+    ) -> "CampaignJournal":
+        """Reopen a journal at its last checkpoint (for a resumed campaign).
+
+        Data files are truncated to the checkpointed counts first: appends
+        that happened after the final checkpoint (including a torn partial
+        write from the crash itself) are rolled back, so the files and the
+        checkpoint record always agree.
+        """
+        journal = cls(
+            directory, space, fsync=fsync, checkpoint_interval=checkpoint_interval
+        )
+        checkpoint = journal._read_checkpoint()
+        if checkpoint is None:
+            raise JournalError(f"no checkpoint to attach to in {journal.directory}")
+        journal.num_rows = int(checkpoint["num_rows"])
+        journal.num_intervals = int(checkpoint["num_intervals"])
+        journal._fit_rows = [int(r) for r in checkpoint["fit_rows"]]
+        journal._pre_fit_rng = checkpoint.get("pre_fit_rng")
+        journal._refresh_rows = [int(r) for r in checkpoint["refresh_rows"]]
+        for name, dtype in journal._data_files():
+            path = journal.directory / name
+            count = journal.num_intervals * 2 if name == "intervals.bin" else journal.num_rows
+            expected = count * np.dtype(dtype).itemsize
+            size = path.stat().st_size if path.exists() else -1
+            if size < expected:
+                raise JournalError(
+                    f"journal data file {name} holds {size} bytes, "
+                    f"checkpoint requires {expected}"
+                )
+            if size > expected:
+                with open(path, "r+b") as handle:
+                    handle.truncate(expected)
+        journal._open_handles()
+        return journal
+
+    def _open_handles(self) -> None:
+        for name, _ in self._data_files():
+            self._handles[name] = open(self.directory / name, "ab")
+
+    def close(self) -> None:
+        """Close the append handles (the journal can be re-attached later)."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    # ------------------------------------------------------------------- meta
+    def write_meta(self, extra: Dict) -> None:
+        """Write the immutable campaign fingerprint (once, atomically)."""
+        meta = {
+            "format": FORMAT_VERSION,
+            "space": _space_fingerprint(self.space),
+        }
+        meta.update(extra)
+        atomic_write_text(self._meta_path(), _dump_json(meta))
+
+    @staticmethod
+    def read_meta(directory: Union[str, Path]) -> Dict:
+        path = Path(directory) / META_NAME
+        if not path.exists():
+            raise JournalError(f"no campaign journal at {directory} ({META_NAME} missing)")
+        return json.loads(path.read_text())
+
+    def _read_checkpoint(self) -> Optional[Dict]:
+        path = self._checkpoint_path()
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    @staticmethod
+    def read_checkpoint(directory: Union[str, Path]) -> Optional[Dict]:
+        """The last committed checkpoint record (None before the first)."""
+        path = Path(directory) / CHECKPOINT_NAME
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ---------------------------------------------------------------- appends
+    def append_rows(self, history: SearchHistory) -> None:
+        """Append history rows past the journal's current row count."""
+        stop = len(history)
+        start = self.num_rows
+        if stop <= start:
+            return
+        if history.has_incomplete_rows:
+            raise JournalError("cannot journal a history with incomplete rows")
+        meta, params = history.column_block(start, stop)
+        for name, dtype in _META_COLUMNS:
+            self._handles[f"m_{name}.bin"].write(
+                np.ascontiguousarray(meta[name], dtype=dtype).tobytes()
+            )
+        for i, codec in enumerate(self._codecs):
+            self._handles[f"p{i}.bin"].write(codec.encode(params[codec.name]).tobytes())
+        self.num_rows = stop
+
+    def append_intervals(self, intervals: Sequence[Tuple[float, float]]) -> None:
+        """Append busy intervals past the journal's current interval count."""
+        start = self.num_intervals
+        if len(intervals) <= start:
+            return
+        block = np.asarray(intervals[start:], dtype="<f8")
+        self._handles["intervals.bin"].write(np.ascontiguousarray(block).tobytes())
+        self.num_intervals = len(intervals)
+
+    # ------------------------------------------------------------------ events
+    def note_fit(self, rows: int, surrogate_rng_state: Optional[Dict]) -> None:
+        """Record a surrogate fit over the first ``rows`` history rows.
+
+        ``surrogate_rng_state`` is the surrogate RNG's state captured *before*
+        the fit runs (None for RNG-free surrogates); only the most recent one
+        is retained — it is all a from-scratch surrogate needs to replay its
+        final fit.
+        """
+        self._fit_rows.append(int(rows))
+        self._pre_fit_rng = surrogate_rng_state
+
+    def note_prior_refresh(self, rows: int) -> None:
+        """Record a prior refresh trained on the first ``rows`` history rows."""
+        self._refresh_rows.append(int(rows))
+
+    # -------------------------------------------------------------- checkpoint
+    def checkpoint(self, payload: Dict) -> None:
+        """Commit everything appended so far plus the caller's state snapshot.
+
+        The data handles are fsynced first (unless ``fsync=False``), then the
+        checkpoint record referencing them is atomically replaced — a reader
+        therefore never observes a checkpoint that points past the durable
+        data.
+        """
+        if self.fsync:
+            for handle in self._handles.values():
+                fsync_file(handle)
+        else:
+            for handle in self._handles.values():
+                handle.flush()
+        record = {
+            "format": FORMAT_VERSION,
+            "num_rows": self.num_rows,
+            "num_intervals": self.num_intervals,
+            "fit_rows": self._fit_rows,
+            "pre_fit_rng": self._pre_fit_rng,
+            "refresh_rows": self._refresh_rows,
+        }
+        record.update(payload)
+        atomic_write_text(self._checkpoint_path(), _dump_json(record))
+
+    # ---------------------------------------------------------------- reading
+    @classmethod
+    def read_data(
+        cls,
+        directory: Union[str, Path],
+        space: SearchSpace,
+        checkpoint: Dict,
+        objective=None,
+    ) -> Tuple[SearchHistory, List[Tuple[float, float]]]:
+        """Reconstruct the history and busy intervals a checkpoint references.
+
+        Only the checkpointed prefix of each column file is read — bytes past
+        it (appends the crash tore or never committed) are ignored.
+        """
+        journal = cls(directory, space)
+        n = int(checkpoint["num_rows"])
+        columns: Dict[str, np.ndarray] = {}
+        for name, dtype in _META_COLUMNS:
+            columns[name] = journal._read_column(f"m_{name}.bin", dtype, n)
+        values = [
+            codec.decode(journal._read_column(f"p{i}.bin", codec.dtype, n))
+            for i, codec in enumerate(journal._codecs)
+        ]
+        history = SearchHistory(space, objective=objective)
+        names = [codec.name for codec in journal._codecs]
+        for i in range(n):
+            history.append(
+                Evaluation(
+                    configuration={
+                        name: column[i] for name, column in zip(names, values)
+                    },
+                    objective=float(columns["objective"][i]),
+                    runtime=float(columns["runtime"][i]),
+                    submitted=float(columns["submitted"][i]),
+                    completed=float(columns["completed"][i]),
+                    worker=int(columns["worker"][i]),
+                    eval_id=int(columns["eval_id"][i]),
+                )
+            )
+        pairs = journal._read_column(
+            "intervals.bin", "<f8", int(checkpoint["num_intervals"]) * 2
+        )
+        intervals = [
+            (float(pairs[2 * i]), float(pairs[2 * i + 1]))
+            for i in range(int(checkpoint["num_intervals"]))
+        ]
+        return history, intervals
+
+    def _read_column(self, name: str, dtype: str, count: int) -> np.ndarray:
+        path = self.directory / name
+        data = path.read_bytes() if path.exists() else b""
+        needed = count * np.dtype(dtype).itemsize
+        if len(data) < needed:
+            raise JournalError(
+                f"journal data file {name} holds {len(data)} bytes, "
+                f"checkpoint requires {needed}"
+            )
+        return np.frombuffer(data[:needed], dtype=dtype)
+
+    # -------------------------------------------------------------- validation
+    @staticmethod
+    def validate_meta(meta: Dict, space: SearchSpace, **expected) -> None:
+        """Check a journal's fingerprint against the resuming search.
+
+        ``expected`` holds scalar fields (seed, num_workers, surrogate, ...)
+        that must match what the meta recorded; mismatches raise
+        :class:`JournalError` — resuming under a different configuration
+        would silently diverge from the original run instead.
+        """
+        if meta.get("format") != FORMAT_VERSION:
+            raise JournalError(f"unsupported journal format {meta.get('format')!r}")
+        fingerprint = _space_fingerprint(space)
+        if meta.get("space") != fingerprint:
+            raise JournalError(
+                "journal space fingerprint does not match the resuming search"
+            )
+        for key, value in expected.items():
+            if meta.get(key) != value:
+                raise JournalError(
+                    f"journal {key}={meta.get(key)!r} does not match the "
+                    f"resuming search ({value!r})"
+                )

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.evaluator import AsyncVirtualEvaluator, DEFAULT_FAILURE_DURATION
 from repro.core.history import SearchHistory
+from repro.core.journal import CampaignJournal, JournalError
 from repro.core.objective import Objective
 from repro.core.optimizer import BayesianOptimizer
 from repro.core.overhead import make_overhead_model
@@ -232,6 +233,7 @@ class CBOSearch:
         max_time: float = 3600.0,
         max_evaluations: Optional[int] = None,
         initial_configurations: Optional[Sequence[Configuration]] = None,
+        journal_dir: Optional[object] = None,
     ) -> SearchResult:
         """Execute the search for ``max_time`` seconds of search time.
 
@@ -244,11 +246,16 @@ class CBOSearch:
         initial_configurations:
             Optional explicit initial batch (used by the framework comparison
             to give every method the same 10 initial samples).
+        journal_dir:
+            Optional directory for a crash-safe campaign journal (see
+            :mod:`repro.core.journal`); a crashed run restarts from its last
+            checkpoint via :meth:`resume` instead of from scratch.
         """
         execution = self.start(
             max_time=max_time,
             max_evaluations=max_evaluations,
             initial_configurations=initial_configurations,
+            journal_dir=journal_dir,
         )
         while execution.advance():
             pass
@@ -260,6 +267,9 @@ class CBOSearch:
         max_evaluations: Optional[int] = None,
         initial_configurations: Optional[Sequence[Configuration]] = None,
         defer_initial_submit: bool = False,
+        journal_dir: Optional[object] = None,
+        journal_fsync: bool = True,
+        checkpoint_interval: int = 1,
     ) -> "CampaignExecution":
         """Begin a search and return its stepping :class:`CampaignExecution`.
 
@@ -268,6 +278,7 @@ class CBOSearch:
         ``defer_initial_submit`` the initialisation batch is proposed but
         left pending (see :meth:`CampaignExecution.submit_prepared`), so a
         batch driver can evaluate all campaigns' initial batches in one pass.
+        ``journal_dir`` enables the crash-safe campaign journal.
         """
         return CampaignExecution(
             self,
@@ -275,7 +286,20 @@ class CBOSearch:
             max_evaluations=max_evaluations,
             initial_configurations=initial_configurations,
             defer_initial_submit=defer_initial_submit,
+            journal_dir=journal_dir,
+            journal_fsync=journal_fsync,
+            checkpoint_interval=checkpoint_interval,
         )
+
+    def resume(self, journal_dir) -> "CampaignExecution":
+        """Resume a journaled campaign from its last checkpoint.
+
+        The search must be freshly constructed with the same parameters as
+        the crashed run (same space, seed, surrogate, workers) — the journal
+        meta record is validated against it.  See
+        :meth:`CampaignExecution.resume`.
+        """
+        return CampaignExecution.resume(self, journal_dir)
 
 
 @dataclass
@@ -336,6 +360,10 @@ class CampaignExecution:
         max_evaluations: Optional[int] = None,
         initial_configurations: Optional[Sequence[Configuration]] = None,
         defer_initial_submit: bool = False,
+        journal_dir: Optional[object] = None,
+        journal_fsync: bool = True,
+        checkpoint_interval: int = 1,
+        _resume: bool = False,
     ):
         if max_time <= 0:
             raise ValueError("max_time must be positive")
@@ -366,6 +394,30 @@ class CampaignExecution:
         self._prior_transform: Optional[TabularTransform] = None
         #: Number of prior refreshes performed so far (continuous retuning).
         self.num_prior_refreshes = 0
+        #: Crash-safe campaign journal (None when journaling is disabled).
+        self._journal: Optional[CampaignJournal] = None
+        self._ticks_since_checkpoint = 0
+        if journal_dir is not None:
+            self._journal = CampaignJournal.create(
+                journal_dir,
+                search.space,
+                fsync=journal_fsync,
+                checkpoint_interval=checkpoint_interval,
+            )
+            self._journal.write_meta(
+                {
+                    "seed": search.seed,
+                    "num_workers": search.num_workers,
+                    "surrogate": type(self.optimizer.surrogate).__name__,
+                    "max_time": self.max_time,
+                    "max_evaluations": self.max_evaluations,
+                }
+            )
+        if _resume:
+            # resume() rebuilds the history, optimizer, prior and evaluator
+            # state from the journal — the initial ask/submit already
+            # happened in the crashed run and must not repeat.
+            return
 
         # ----------------------------------------------------- initialisation
         if initial_configurations:
@@ -423,8 +475,17 @@ class CampaignExecution:
         return completed
 
     def tell_collected(self) -> None:
-        """Feed the collected evaluations to the optimizer and charge overhead."""
-        self.optimizer.tell(self._tell_configs, self._tell_objectives)
+        """Feed the collected evaluations to the optimizer and charge overhead.
+
+        Equivalent to ``optimizer.tell`` (ingest, then fit when due) with one
+        addition: a due fit is noted in the campaign journal *before* it runs,
+        capturing the surrogate RNG state a resume needs to replay it.
+        """
+        start = time.perf_counter()
+        if self.optimizer.ingest(self._tell_configs, self._tell_objectives):
+            self._note_fit_due()
+            self.optimizer.fit_now()
+        self.optimizer.last_tell_duration = time.perf_counter() - start
         self.charge_tell()
 
     def ingest_collected(self) -> bool:
@@ -435,12 +496,27 @@ class CampaignExecution:
         :meth:`~repro.core.optimizer.BayesianOptimizer.mark_fitted` before
         :meth:`charge_tell`.  The ingest time refreshes the optimizer's
         measured tell duration (an externally batched fit's time is shared
-        across campaigns and not attributed to any one of them).
+        across campaigns and not attributed to any one of them).  A due fit
+        is noted in the campaign journal here — fleet fits consume the
+        surrogate RNG bitwise-identically to solo fits, so the pre-fit
+        capture covers both.
         """
         start = time.perf_counter()
         due = self.optimizer.ingest(self._tell_configs, self._tell_objectives)
         self.optimizer.last_tell_duration = time.perf_counter() - start
+        if due:
+            self._note_fit_due()
         return due
+
+    def _note_fit_due(self) -> None:
+        """Journal the surrogate fit about to run over the current history."""
+        if self._journal is None:
+            return
+        rng = getattr(self.optimizer.surrogate, "_rng", None)
+        self._journal.note_fit(
+            self.optimizer.num_observations,
+            None if rng is None else rng.bit_generator.state,
+        )
 
     def charge_tell(self) -> None:
         """Charge the model-update overhead for the last collected batch."""
@@ -467,7 +543,19 @@ class CampaignExecution:
         interval = search.prior_refresh_interval
         if interval is None or self._evals_since_prior_refresh < interval:
             return None
-        top_batch = self.history.top_k_columns(search.prior_refresh_top_k)
+        return self._build_prior_refresh(self.history)
+
+    def _build_prior_refresh(
+        self, history: SearchHistory
+    ) -> Optional["PreparedPriorRefresh"]:
+        """Select and encode a refresh's training set from ``history``.
+
+        Factored out of :meth:`prepare_prior_refresh` so a journal resume can
+        rebuild refresh ``k`` against the exact history prefix it originally
+        saw (the due-interval check does not apply to a replay).
+        """
+        search = self.search
+        top_batch = history.top_k_columns(search.prior_refresh_top_k)
         if len(top_batch) < search.prior_refresh_top_k:
             return None
         if self._prior_transform is None:
@@ -507,6 +595,8 @@ class CampaignExecution:
         )
         self.num_prior_refreshes += 1
         self._evals_since_prior_refresh = 0
+        if self._journal is not None:
+            self._journal.note_prior_refresh(len(self.history))
 
     def refresh_prior_if_due(self) -> bool:
         """Refit the sampling prior from the campaign's own incumbents.
@@ -607,11 +697,179 @@ class CampaignExecution:
     def advance(self) -> bool:
         """One full manager interaction; False once the campaign is over."""
         if self.collect() is None:
+            self.maybe_checkpoint(force=True)
             return False
         self.tell_collected()
         self.refresh_prior_if_due()
         self.ask_and_submit()
+        self.maybe_checkpoint()
         return True
+
+    # ---------------------------------------------------------------- journal
+    def maybe_checkpoint(self, force: bool = False) -> bool:
+        """Journal new rows/intervals and commit a checkpoint when one is due.
+
+        Called at the end of every tick (by :meth:`advance` and the
+        multi-campaign runner); a no-op without a journal.  ``force`` commits
+        regardless of the journal's ``checkpoint_interval`` (used for the
+        final tick, so ``finished`` is durably recorded).  Returns whether a
+        checkpoint was committed.
+        """
+        journal = self._journal
+        if journal is None:
+            return False
+        self._ticks_since_checkpoint += 1
+        if (
+            not force
+            and not self.finished
+            and self._ticks_since_checkpoint < journal.checkpoint_interval
+        ):
+            return False
+        journal.append_rows(self.history)
+        journal.append_intervals(self.intervals)
+        journal.checkpoint(
+            {
+                "evals_since_prior_refresh": self._evals_since_prior_refresh,
+                "num_prior_refreshes": self.num_prior_refreshes,
+                "num_completed": self._num_completed,
+                "finished": self.finished,
+                "optimizer_rng": self.optimizer.rng.bit_generator.state,
+                "evaluator": self.evaluator.state_dict(),
+            }
+        )
+        self._ticks_since_checkpoint = 0
+        return True
+
+    @classmethod
+    def resume(
+        cls,
+        search: "CBOSearch",
+        journal_dir,
+        journal_fsync: bool = True,
+        checkpoint_interval: int = 1,
+    ) -> "CampaignExecution":
+        """Reconstruct a crashed journaled campaign from its sidecar directory.
+
+        ``search`` must be a *freshly constructed* search with the same
+        parameters as the crashed run — the journal's meta record is
+        validated against its space, seed, worker count and surrogate kind.
+        The history is read back from the journal's column files (no
+        evaluation is re-run), the optimizer state is replayed along the
+        recorded fit and prior-refresh boundaries, and the evaluator resumes
+        with its in-flight evaluations intact; continuing the returned
+        execution is bit-identical to a run that never crashed.  A journal
+        that crashed before its first checkpoint restarts from scratch
+        (nothing durable was committed — the restart is deterministic).
+        """
+        meta = CampaignJournal.read_meta(journal_dir)
+        CampaignJournal.validate_meta(
+            meta,
+            search.space,
+            seed=search.seed,
+            num_workers=search.num_workers,
+            surrogate=type(search.optimizer.surrogate).__name__,
+        )
+        if search.optimizer.num_observations or search.optimizer.surrogate.fitted:
+            raise JournalError(
+                "resume requires a freshly constructed search (the optimizer "
+                "has already observed evaluations)"
+            )
+        max_time = float(meta["max_time"])
+        max_evaluations = meta.get("max_evaluations")
+        checkpoint = CampaignJournal.read_checkpoint(journal_dir)
+        if checkpoint is None:
+            return cls(
+                search,
+                max_time=max_time,
+                max_evaluations=max_evaluations,
+                journal_dir=journal_dir,
+                journal_fsync=journal_fsync,
+                checkpoint_interval=checkpoint_interval,
+            )
+        execution = cls(
+            search,
+            max_time=max_time,
+            max_evaluations=max_evaluations,
+            _resume=True,
+        )
+        history, intervals = CampaignJournal.read_data(
+            journal_dir, search.space, checkpoint, objective=search.objective
+        )
+        execution.history = history
+        execution.intervals = intervals
+        execution._replay(checkpoint)
+        execution._journal = CampaignJournal.attach(
+            journal_dir,
+            search.space,
+            fsync=journal_fsync,
+            checkpoint_interval=checkpoint_interval,
+        )
+        return execution
+
+    def _replay(self, checkpoint: dict) -> None:
+        """Rebuild optimizer, prior and evaluator state from a checkpoint.
+
+        The optimizer re-ingests the journaled history in the chunks the
+        recorded fit boundaries dictate.  Partial-fit surrogates (the GP)
+        replay *every* fit event so their incremental factors and refresh
+        counters take the same growth path as the live run; from-scratch
+        surrogates (RF, constant) replay only the final fit — after
+        restoring the surrogate RNG state captured just before that fit —
+        because earlier fits left no trace beyond the RNG cursor.  Prior
+        refreshes are re-trained against the history prefixes they
+        originally saw (fresh deterministic VAE seeds make the replay exact),
+        and the optimizer RNG plus all campaign counters are restored last.
+        """
+        optimizer = self.optimizer
+        fit_rows = [int(rows) for rows in checkpoint["fit_rows"]]
+        total_rows = int(checkpoint["num_rows"])
+        position = 0
+        for index, boundary in enumerate(fit_rows):
+            self._replay_ingest(position, boundary)
+            position = boundary
+            if optimizer.surrogate.supports_partial_fit:
+                optimizer.fit_now()
+            elif index == len(fit_rows) - 1:
+                rng = getattr(optimizer.surrogate, "_rng", None)
+                state = checkpoint.get("pre_fit_rng")
+                if rng is not None and state is not None:
+                    rng.bit_generator.state = state
+                optimizer.fit_now()
+            else:
+                # From-scratch surrogates: only the final fit determines the
+                # model — earlier events advance the bookkeeping only.
+                optimizer.mark_fitted()
+        self._replay_ingest(position, total_rows)
+        for rows in checkpoint["refresh_rows"]:
+            prefix = self.history.truncated(int(rows))
+            prepared = self._build_prior_refresh(prefix)
+            if prepared is None:
+                raise JournalError(
+                    "journaled prior refresh cannot be rebuilt from the "
+                    "restored history"
+                )
+            prepared.vae.fit(
+                prepared.design,
+                epochs=prepared.epochs,
+                batch_size=prepared.batch_size,
+            )
+            self.finish_prior_refresh(prepared)
+        optimizer.rng.bit_generator.state = checkpoint["optimizer_rng"]
+        self._evals_since_prior_refresh = int(checkpoint["evals_since_prior_refresh"])
+        self.num_prior_refreshes = int(checkpoint["num_prior_refreshes"])
+        self._num_completed = int(checkpoint["num_completed"])
+        self.finished = bool(checkpoint["finished"])
+        self.evaluator.load_state_dict(checkpoint["evaluator"])
+
+    def _replay_ingest(self, start: int, stop: int) -> None:
+        """Re-ingest journaled history rows ``[start, stop)`` into the optimizer."""
+        if stop <= start:
+            return
+        evaluations = self.history[start:stop]
+        self.optimizer.ingest(
+            [evaluation.configuration for evaluation in evaluations],
+            [evaluation.objective for evaluation in evaluations],
+        )
 
     # ------------------------------------------------------------------ misc
     def _submit(

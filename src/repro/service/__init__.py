@@ -15,6 +15,12 @@ autotuning campaigns against shared evaluation capacity:
 """
 
 from repro.service.evaluator import ServiceEvaluator, SharedWorkerPool
-from repro.service.runner import CampaignRunner, CampaignSpec
+from repro.service.runner import CampaignRunner, CampaignSpec, QuarantinedCampaign
 
-__all__ = ["ServiceEvaluator", "SharedWorkerPool", "CampaignRunner", "CampaignSpec"]
+__all__ = [
+    "ServiceEvaluator",
+    "SharedWorkerPool",
+    "CampaignRunner",
+    "CampaignSpec",
+    "QuarantinedCampaign",
+]

@@ -26,18 +26,22 @@ property-based test suite pins this protocol equivalence.
 
 from __future__ import annotations
 
-import itertools
+import heapq
+import math
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.evaluator import (
     DEFAULT_FAILURE_DURATION,
     CompletedEvaluation,
+    EvaluatorStalledError,
     PendingEvaluation,
     WorkerState,
     resolve_duration,
+    resolve_outcome,
 )
 from repro.core.space import Configuration
+from repro.sim.faults import FaultPlan, make_fault_plan
 
 __all__ = ["SharedWorkerPool", "ServiceEvaluator"]
 
@@ -45,31 +49,88 @@ __all__ = ["SharedWorkerPool", "ServiceEvaluator"]
 class SharedWorkerPool:
     """A virtual-time worker fleet shared by one or more evaluator clients.
 
+    The pool also owns the service's fault-tolerance policy.  Work lost to an
+    injected fault (a dropped result or a crashed worker) is resubmitted with
+    exponential backoff — the retry becomes ready ``backoff_base * 2**attempt``
+    after the loss and joins the queue like any other request — until
+    ``max_retries`` resubmissions have been consumed, at which point the
+    configuration is declared failed and a NaN result is delivered to its
+    owner (the standard failure tell).  ``deadline`` enforces the paper's
+    per-evaluation kill limit: any evaluation whose duration would exceed it
+    is cut off at the deadline and reported as failed.  All of this is inert
+    without a fault plan or deadline; the fault-free path is bit-identical to
+    a pool without the policy.
+
     Parameters
     ----------
     num_workers:
         Number of workers in the pool (the service's capacity).
+    fault_plan:
+        Optional :class:`~repro.sim.faults.FaultPlan` injecting deterministic
+        faults into the pool's evaluations.
+    deadline:
+        Optional per-evaluation kill limit in virtual seconds.
+    max_retries:
+        Resubmissions allowed per configuration lost to a fault before it is
+        declared failed.
+    backoff_base:
+        Backoff before the first resubmission, doubled per further attempt.
     """
 
-    def __init__(self, num_workers: int = 128):
+    def __init__(
+        self,
+        num_workers: int = 128,
+        fault_plan: Optional[FaultPlan] = None,
+        deadline: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base: float = 30.0,
+    ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base <= 0:
+            raise ValueError("backoff_base must be positive")
         self.num_workers = int(num_workers)
+        self.fault_plan = make_fault_plan(fault_plan)
+        self.deadline = None if deadline is None else float(deadline)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
         self.workers = [WorkerState(index=i) for i in range(self.num_workers)]
         self.now = 0.0
-        self._seq = itertools.count()
+        self._next_seq = 0
         #: Running evaluations: (pending, owner, sequence-number) triples.
         self._running: List[Tuple[PendingEvaluation, "ServiceEvaluator", int]] = []
-        #: Requests accepted while no worker was idle, in arrival order; the
-        #: third element is the precomputed runtime (None → call the owner's
-        #: run function at dispatch time).
-        self._queue: Deque[Tuple["ServiceEvaluator", Configuration, Optional[float]]] = deque()
+        #: Requests accepted while no worker was idle, in arrival order:
+        #: (owner, configuration, precomputed runtime or None, attempt).
+        self._queue: Deque[
+            Tuple["ServiceEvaluator", Configuration, Optional[float], int]
+        ] = deque()
+        #: Lost work awaiting its backoff: a heap of
+        #: (ready_at, order, owner, configuration, runtime, attempt).
+        self._delayed: List[
+            Tuple[float, int, "ServiceEvaluator", Configuration, Optional[float], int]
+        ] = []
+        self._retry_order = 0
+        #: Resubmission attempt of each running evaluation, keyed by its
+        #: sequence number (populated only under a fault plan).
+        self._attempts: Dict[int, int] = {}
+        self.num_lost = 0
+        self.num_retried = 0
+        self.num_exhausted = 0
         self.clients: List["ServiceEvaluator"] = []
 
     # ------------------------------------------------------------------ state
     def idle_workers(self) -> List[WorkerState]:
-        """Workers without a running evaluation."""
-        return [w for w in self.workers if w.evaluations_running == 0]
+        """Workers without a running evaluation (dead workers excluded)."""
+        return [w for w in self.workers if w.idle]
+
+    @property
+    def num_dead(self) -> int:
+        """Number of workers that crashed and left service permanently."""
+        return sum(1 for w in self.workers if w.dead)
 
     @property
     def num_idle(self) -> int:
@@ -91,6 +152,11 @@ class SharedWorkerPool:
         if not self._running:
             return float("inf")
         return min(p.completes_at for p, _, _ in self._running)
+
+    def next_event_time(self) -> float:
+        """Time of the pool's next event: a completion or a retry release."""
+        next_retry = self._delayed[0][0] if self._delayed else float("inf")
+        return min(self.next_completion_time(), next_retry)
 
     def advance_to(self, time: float) -> None:
         """Move the shared clock forward (never backwards)."""
@@ -120,21 +186,47 @@ class SharedWorkerPool:
         at_time: float,
         worker: WorkerState,
         runtime: Optional[float] = None,
+        attempt: int = 0,
     ) -> PendingEvaluation:
         runtime = float(client.run_function(config) if runtime is None else runtime)
-        duration = client._duration(config, runtime)
+        seq = self._next_seq
+        self._next_seq += 1
+        decision = None if self.fault_plan is None else self.fault_plan.decide(seq)
+        runtime, duration = resolve_outcome(
+            config,
+            runtime,
+            client.duration_function,
+            client.failure_duration,
+            self.deadline,
+            decision,
+        )
+        lost = crashed = False
+        if decision is not None:
+            if decision.crash:
+                # The worker dies part-way through; the evaluation is lost and
+                # the "completion" event is the moment of death.
+                crashed = lost = True
+                duration = decision.crash_fraction * duration
+            elif decision.lost:
+                lost = True
+            if lost:
+                self._attempts[seq] = attempt
         pending = PendingEvaluation(
             configuration=dict(config),
             worker=worker.index,
             submitted=at_time,
             completes_at=at_time + duration,
             runtime=runtime,
+            seq=seq,
+            lost=lost,
+            crashed=crashed,
         )
         worker.evaluations_running += 1
         worker.busy_until = at_time + duration
-        worker.busy_time += duration
+        if math.isfinite(duration):
+            worker.busy_time += duration
         worker.evaluations += 1
-        self._running.append((pending, client, next(self._seq)))
+        self._running.append((pending, client, seq))
         client._own_running.append(pending)
         client.num_submitted += 1
         client._started_intervals.append((at_time, at_time + duration))
@@ -151,43 +243,113 @@ class SharedWorkerPool:
             if idle:
                 self._start(client, config, self.now, idle.popleft(), runtime)
             else:
-                self._queue.append((client, dict(config), runtime))
+                self._queue.append((client, dict(config), runtime, 0))
             accepted += 1
         return accepted
 
-    def process_until(self, horizon: float) -> None:
-        """Fire every completion at or before ``horizon``.
-
-        Completions fire in ``(completion time, submission order)`` order;
-        each freed worker immediately picks up the oldest queued request,
-        which starts at the freeing completion's time (and may itself
-        complete within the horizon).
-        """
-        while self._running:
-            pos = min(
-                range(len(self._running)),
-                key=lambda i: (self._running[i][0].completes_at, self._running[i][2]),
-            )
-            pending, owner, _ = self._running[pos]
-            if pending.completes_at > horizon:
-                break
-            del self._running[pos]
-            worker = self.workers[pending.worker]
-            worker.evaluations_running -= 1
-            owner._own_running.remove(pending)
+    def _handle_loss(self, pending: PendingEvaluation, owner: "ServiceEvaluator") -> None:
+        """Retry (with backoff) or give up on an evaluation lost to a fault."""
+        attempt = self._attempts.pop(pending.seq, 0)
+        if attempt >= self.max_retries:
+            # Retries exhausted: declare the configuration failed at the time
+            # of the final loss, so the owner tells NaN like any failure.
+            self.num_exhausted += 1
             owner._done.append(
                 CompletedEvaluation(
                     configuration=pending.configuration,
                     worker=pending.worker,
                     submitted=pending.submitted,
                     completed=pending.completes_at,
-                    runtime=pending.runtime,
+                    runtime=float("nan"),
+                    seq=pending.seq,
                 )
             )
-            if self._queue and worker.evaluations_running == 0:
-                next_client, next_config, next_runtime = self._queue.popleft()
+            return
+        self.num_retried += 1
+        ready_at = pending.completes_at + self.backoff_base * (2.0 ** attempt)
+        self._retry_order += 1
+        heapq.heappush(
+            self._delayed,
+            (
+                ready_at,
+                self._retry_order,
+                owner,
+                pending.configuration,
+                None,
+                attempt + 1,
+            ),
+        )
+
+    def process_until(self, horizon: float) -> None:
+        """Fire every pool event at or before ``horizon``.
+
+        Events are completions and retry releases, interleaved in time order
+        (a retry whose backoff expires at the same instant a completion fires
+        is released first, so it can take the freed worker's place in the
+        queue ahead of nothing — ties are rare and deterministic either way).
+        Completions fire in ``(completion time, submission order)`` order;
+        each freed worker immediately picks up the oldest queued request,
+        which starts at the freeing completion's time (and may itself
+        complete within the horizon).  An evaluation flagged lost or crashed
+        delivers no result: the worker is freed (or dies) and the loss is
+        handed to the retry policy.
+        """
+        while True:
+            next_retry = self._delayed[0][0] if self._delayed else float("inf")
+            pos = None
+            next_comp = float("inf")
+            if self._running:
+                pos = min(
+                    range(len(self._running)),
+                    key=lambda i: (self._running[i][0].completes_at, self._running[i][2]),
+                )
+                next_comp = self._running[pos][0].completes_at
+            if next_retry <= next_comp:
+                if next_retry > horizon or math.isinf(next_retry):
+                    return
+                ready_at, _, client, config, runtime, attempt = heapq.heappop(
+                    self._delayed
+                )
+                idle = self.idle_workers()
+                if idle:
+                    self._start(client, config, ready_at, idle[0], runtime, attempt)
+                else:
+                    self._queue.append((client, config, runtime, attempt))
+                continue
+            if pos is None or next_comp > horizon or math.isinf(next_comp):
+                return
+            pending, owner, _ = self._running[pos]
+            del self._running[pos]
+            worker = self.workers[pending.worker]
+            worker.evaluations_running -= 1
+            if pending.crashed:
+                worker.dead = True
+            owner._own_running.remove(pending)
+            if pending.lost:
+                self.num_lost += 1
+                self._handle_loss(pending, owner)
+            else:
+                owner._done.append(
+                    CompletedEvaluation(
+                        configuration=pending.configuration,
+                        worker=pending.worker,
+                        submitted=pending.submitted,
+                        completed=pending.completes_at,
+                        runtime=pending.runtime,
+                        seq=pending.seq,
+                    )
+                )
+            if self._queue and worker.idle:
+                next_client, next_config, next_runtime, next_attempt = (
+                    self._queue.popleft()
+                )
                 self._start(
-                    next_client, next_config, pending.completes_at, worker, next_runtime
+                    next_client,
+                    next_config,
+                    pending.completes_at,
+                    worker,
+                    next_runtime,
+                    next_attempt,
                 )
 
     # ------------------------------------------------------------------ stats
@@ -204,8 +366,128 @@ class SharedWorkerPool:
         total_busy = 0.0
         for worker in self.workers:
             over = max(0.0, worker.busy_until - horizon)
+            if not math.isfinite(over):
+                # A hung evaluation (infinite busy_until) contributes nothing
+                # beyond what busy_time recorded for its finite predecessors.
+                over = 0.0
             total_busy += max(0.0, worker.busy_time - over)
         return float(total_busy / (horizon * self.num_workers))
+
+    # ---------------------------------------------------------- durable state
+    def state_dict(self) -> Dict:
+        """JSON-serialisable snapshot of the pool's full dynamic state.
+
+        Only supported for single-client (private) pools: a shared pool's
+        state belongs to every campaign using it, so no one campaign's
+        journal may claim it.  Floats survive the JSON round trip bit-exactly.
+        """
+        if len(self.clients) != 1:
+            raise RuntimeError(
+                "state snapshots require a private (single-client) pool; "
+                f"this pool has {len(self.clients)} clients"
+            )
+        return {
+            "now": self.now,
+            "next_seq": self._next_seq,
+            "retry_order": self._retry_order,
+            "num_lost": self.num_lost,
+            "num_retried": self.num_retried,
+            "num_exhausted": self.num_exhausted,
+            "running": [
+                {
+                    "configuration": dict(p.configuration),
+                    "worker": p.worker,
+                    "submitted": p.submitted,
+                    "completes_at": p.completes_at,
+                    "runtime": p.runtime,
+                    "seq": p.seq,
+                    "lost": p.lost,
+                    "crashed": p.crashed,
+                }
+                for p, _, _ in self._running
+            ],
+            "queue": [
+                {"configuration": dict(c), "runtime": r, "attempt": a}
+                for _, c, r, a in self._queue
+            ],
+            "delayed": [
+                {
+                    "ready_at": ready_at,
+                    "order": order,
+                    "configuration": dict(c),
+                    "runtime": r,
+                    "attempt": a,
+                }
+                for ready_at, order, _, c, r, a in sorted(self._delayed)
+            ],
+            "attempts": {str(seq): a for seq, a in self._attempts.items()},
+            "workers": [
+                {
+                    "busy_until": w.busy_until,
+                    "busy_time": w.busy_time,
+                    "evaluations": w.evaluations,
+                    "evaluations_running": w.evaluations_running,
+                    "dead": w.dead,
+                }
+                for w in self.workers
+            ],
+        }
+
+    def load_state_dict(self, state: Dict, client: "ServiceEvaluator") -> None:
+        """Restore a :meth:`state_dict` snapshot onto this (private) pool.
+
+        ``client`` is the pool's sole client; every running, queued and
+        delayed request in the snapshot is re-attributed to it.
+        """
+        if len(state["workers"]) != self.num_workers:
+            raise ValueError(
+                f"snapshot has {len(state['workers'])} workers, "
+                f"pool has {self.num_workers}"
+            )
+        self.now = float(state["now"])
+        self._next_seq = int(state["next_seq"])
+        self._retry_order = int(state["retry_order"])
+        self.num_lost = int(state["num_lost"])
+        self.num_retried = int(state["num_retried"])
+        self.num_exhausted = int(state["num_exhausted"])
+        self._running = []
+        client._own_running = []
+        for p in state["running"]:
+            pending = PendingEvaluation(
+                configuration=dict(p["configuration"]),
+                worker=int(p["worker"]),
+                submitted=float(p["submitted"]),
+                completes_at=float(p["completes_at"]),
+                runtime=float(p["runtime"]),
+                seq=int(p["seq"]),
+                lost=bool(p["lost"]),
+                crashed=bool(p["crashed"]),
+            )
+            self._running.append((pending, client, pending.seq))
+            client._own_running.append(pending)
+        self._queue = deque(
+            (client, dict(q["configuration"]), q["runtime"], int(q["attempt"]))
+            for q in state["queue"]
+        )
+        self._delayed = [
+            (
+                float(d["ready_at"]),
+                int(d["order"]),
+                client,
+                dict(d["configuration"]),
+                d["runtime"],
+                int(d["attempt"]),
+            )
+            for d in state["delayed"]
+        ]
+        heapq.heapify(self._delayed)
+        self._attempts = {int(k): int(v) for k, v in state["attempts"].items()}
+        for worker, w in zip(self.workers, state["workers"]):
+            worker.busy_until = float(w["busy_until"])
+            worker.busy_time = float(w["busy_time"])
+            worker.evaluations = int(w["evaluations"])
+            worker.evaluations_running = int(w["evaluations_running"])
+            worker.dead = bool(w["dead"])
 
 
 class ServiceEvaluator:
@@ -233,6 +515,10 @@ class ServiceEvaluator:
     duration_function:
         Optional override mapping ``(configuration, runtime)`` to the
         evaluation's virtual duration.
+    deadline, fault_plan, max_retries, backoff_base:
+        Fault-tolerance policy forwarded to the **private** pool (see
+        :class:`SharedWorkerPool`).  When joining an existing pool the policy
+        belongs to that pool, so passing any of these with ``pool`` raises.
     """
 
     def __init__(
@@ -242,11 +528,31 @@ class ServiceEvaluator:
         num_workers: int = 128,
         failure_duration: float = DEFAULT_FAILURE_DURATION,
         duration_function: Optional[Callable[[Configuration, float], float]] = None,
+        deadline: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_retries: Optional[int] = None,
+        backoff_base: Optional[float] = None,
     ):
         if failure_duration <= 0:
             raise ValueError("failure_duration must be positive")
+        if pool is not None and any(
+            v is not None for v in (deadline, fault_plan, max_retries, backoff_base)
+        ):
+            raise ValueError(
+                "deadline/fault_plan/max_retries/backoff_base belong to the "
+                "pool; configure them on the SharedWorkerPool instead"
+            )
         self.run_function = run_function
-        self.pool = pool if pool is not None else SharedWorkerPool(num_workers)
+        if pool is None:
+            policy = {}
+            if max_retries is not None:
+                policy["max_retries"] = max_retries
+            if backoff_base is not None:
+                policy["backoff_base"] = backoff_base
+            pool = SharedWorkerPool(
+                num_workers, fault_plan=fault_plan, deadline=deadline, **policy
+            )
+        self.pool = pool
         self.failure_duration = float(failure_duration)
         self.duration_function = duration_function
         self.num_submitted = 0
@@ -293,7 +599,7 @@ class ServiceEvaluator:
     @property
     def num_queued(self) -> int:
         """Number of this client's requests still waiting for a worker."""
-        return sum(1 for client, _, _ in self.pool._queue if client is self)
+        return sum(1 for entry in self.pool._queue if entry[0] is self)
 
     def pending_evaluations(self) -> Tuple[PendingEvaluation, ...]:
         """Snapshot of this client's running evaluations (submission order)."""
@@ -351,16 +657,38 @@ class ServiceEvaluator:
 
         Completions of *other* clients sharing the pool are processed along
         the way (freeing workers and draining the queue); the clock stops at
-        the first time this client has results, or at ``max_time``.
+        the first time this client has results, or at ``max_time``.  Raises
+        :class:`~repro.core.evaluator.EvaluatorStalledError` when this client
+        has outstanding work but the pool has no future event that could ever
+        deliver it (every pending evaluation hangs without a deadline, or
+        queued work is starved because every worker died).
         """
         pool = self.pool
         while True:
-            target = min(pool.next_completion_time(), max_time)
+            if (
+                (self._own_running or self.num_queued)
+                and not self._done
+                and pool.next_event_time() == math.inf
+            ):
+                raise EvaluatorStalledError(
+                    f"{len(self._own_running)} running and {self.num_queued} "
+                    "queued evaluation(s) can never complete "
+                    f"({pool.num_dead} of {pool.num_workers} workers dead)"
+                )
+            target = min(pool.next_event_time(), max_time)
             if target < pool.now:
                 target = pool.now
+            if math.isinf(target):
+                # Nothing will ever happen and this client has nothing
+                # outstanding: do not spin the shared clock to infinity.
+                return pool.now, []
             pool.advance_to(target)
             collected = self.collect()
-            if collected or pool.now >= max_time or not pool._running:
+            if (
+                collected
+                or pool.now >= max_time
+                or (not pool._running and not pool._delayed)
+            ):
                 return pool.now, collected
 
     # ------------------------------------------------------------------ stats
@@ -372,3 +700,48 @@ class ServiceEvaluator:
         share is not separable at the worker level).
         """
         return self.pool.utilization(horizon)
+
+    # ---------------------------------------------------------- durable state
+    def state_dict(self) -> Dict:
+        """JSON-serialisable snapshot of this client plus its private pool.
+
+        Raises for shared pools (see :meth:`SharedWorkerPool.state_dict`):
+        a shared pool's clock and queue belong to every campaign using it.
+        """
+        return {
+            "pool": self.pool.state_dict(),
+            "num_submitted": self.num_submitted,
+            "num_collected": self.num_collected,
+            "done": [
+                {
+                    "configuration": dict(c.configuration),
+                    "worker": c.worker,
+                    "submitted": c.submitted,
+                    "completed": c.completed,
+                    "runtime": c.runtime,
+                    "seq": c.seq,
+                }
+                for c in self._done
+            ],
+            "started_intervals": [list(t) for t in self._started_intervals],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this client and pool."""
+        self.pool.load_state_dict(state["pool"], self)
+        self.num_submitted = int(state["num_submitted"])
+        self.num_collected = int(state["num_collected"])
+        self._done = [
+            CompletedEvaluation(
+                configuration=dict(c["configuration"]),
+                worker=int(c["worker"]),
+                submitted=float(c["submitted"]),
+                completed=float(c["completed"]),
+                runtime=float(c["runtime"]),
+                seq=int(c["seq"]),
+            )
+            for c in state["done"]
+        ]
+        self._started_intervals = [
+            (float(a), float(b)) for a, b in state["started_intervals"]
+        ]

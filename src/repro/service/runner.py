@@ -66,18 +66,54 @@ from repro.core.surrogate.random_forest import (
 )
 from repro.core.vae.tvae import VAEFleet, vae_fleet_key
 
-__all__ = ["CampaignSpec", "CampaignRunner"]
+__all__ = ["CampaignSpec", "CampaignRunner", "QuarantinedCampaign"]
 
 
 @dataclass
 class CampaignSpec:
-    """One campaign to run: a configured search plus its run budget."""
+    """One campaign to run: a configured search plus its run budget.
+
+    ``journal_dir`` enables the campaign's crash-safe journal (see
+    :mod:`repro.core.journal`): the runner checkpoints the campaign at every
+    batch tick, so a crashed or quarantined campaign can be resumed with
+    :meth:`~repro.core.search.CampaignExecution.resume`.
+    """
 
     search: CBOSearch
     max_time: float = 3600.0
     max_evaluations: Optional[int] = None
     initial_configurations: Optional[Sequence[Configuration]] = None
     label: str = ""
+    journal_dir: Optional[object] = None
+
+
+@dataclass
+class QuarantinedCampaign:
+    """One campaign the runner isolated after an error (quarantine mode).
+
+    Attributes
+    ----------
+    index:
+        The campaign's position in the runner's spec list.
+    label:
+        The spec's label (may be empty).
+    phase:
+        The batch-tick phase the error surfaced in
+        (``collect``/``tell``/``fit``/``refresh``/``ask``/``submit``/
+        ``checkpoint``).
+    error:
+        The exception that triggered the quarantine.
+    """
+
+    index: int
+    label: str
+    phase: str
+    error: BaseException
+
+
+#: Sentinel returned by the runner's guarded phase calls when the campaign
+#: was quarantined mid-call (distinct from any legitimate return value).
+_FAILED = object()
 
 
 class CampaignRunner:
@@ -127,6 +163,18 @@ class CampaignRunner:
         :meth:`~repro.hep.surrogate_runtime.SurrogateRuntimeFleet.run_batch`,
         which fuses the per-request surrogate-model inferences of all
         campaigns into one vectorised pass).
+    on_campaign_error:
+        What to do when stepping one campaign raises: ``"raise"`` (default)
+        propagates the exception and aborts the whole batch — the historic
+        behaviour; ``"quarantine"`` isolates the failing campaign instead:
+        it is checkpointed to its journal (when journaled, hence resumable),
+        recorded in :attr:`quarantined`, and removed from the batch, and the
+        surviving campaigns' fleet groupings re-form on the next tick as
+        usual (groups are rebuilt from the active set every tick).  A fused
+        fleet pass that fails falls back to per-campaign solo fits first —
+        only campaigns whose *solo* step also fails are quarantined.
+        Quarantined campaigns still contribute their partial
+        :class:`~repro.core.search.SearchResult`.
     """
 
     def __init__(
@@ -137,15 +185,26 @@ class CampaignRunner:
         batch_vae_fits: bool = True,
         batch_gp_fits: bool = True,
         run_batcher: Optional[Callable] = None,
+        on_campaign_error: str = "raise",
     ):
         if not specs:
             raise ValueError("need at least one campaign")
+        if on_campaign_error not in ("raise", "quarantine"):
+            raise ValueError(
+                f"unknown on_campaign_error {on_campaign_error!r} "
+                "(expected 'raise' or 'quarantine')"
+            )
         self.specs = list(specs)
         self.batch_surrogate_fits = bool(batch_surrogate_fits)
         self.batch_candidate_scoring = bool(batch_candidate_scoring)
         self.batch_vae_fits = bool(batch_vae_fits)
         self.batch_gp_fits = bool(batch_gp_fits)
         self.run_batcher = run_batcher
+        self.on_campaign_error = on_campaign_error
+        #: Campaigns isolated by quarantine mode during the last :meth:`run`.
+        self.quarantined: List[QuarantinedCampaign] = []
+        self._index_of: Dict[int, int] = {}
+        self._dropped_ids: set = set()
         #: Number of batch ticks executed by the last :meth:`run`.
         self.num_ticks = 0
         #: Number of fleet fits and of surrogates fitted through them.
@@ -164,21 +223,60 @@ class CampaignRunner:
         self.num_vae_fleet_fits = 0
         self.num_vae_fleet_members = 0
 
+    # ----------------------------------------------------------- error policy
+    def _quarantine(self, execution: CampaignExecution, phase: str, error: BaseException) -> None:
+        """Isolate one failing campaign: checkpoint, record, drop from batch."""
+        index = self._index_of[id(execution)]
+        self._dropped_ids.add(id(execution))
+        self.quarantined.append(
+            QuarantinedCampaign(
+                index=index,
+                label=self.specs[index].label,
+                phase=phase,
+                error=error,
+            )
+        )
+        try:
+            # Best effort: a journaled campaign stays resumable from its last
+            # consistent state even when the quarantine-time checkpoint fails.
+            execution.maybe_checkpoint(force=True)
+        except Exception:
+            pass
+
+    def _step(self, execution: CampaignExecution, phase: str, call: Callable):
+        """Run one campaign-local phase call under the error policy.
+
+        Returns the call's result, or the ``_FAILED`` sentinel when the
+        campaign was quarantined (quarantine mode only — otherwise the
+        exception propagates and aborts the batch, the historic behaviour).
+        """
+        try:
+            return call()
+        except Exception as error:
+            if self.on_campaign_error != "quarantine":
+                raise
+            self._quarantine(execution, phase, error)
+            return _FAILED
+
     # ------------------------------------------------------------------- run
     def run(self) -> List[SearchResult]:
         """Execute all campaigns; per-spec results in spec order."""
         batching_runs = self.run_batcher is not None
-        index_of: Dict[int, int] = {}
         executions = [
             spec.search.start(
                 max_time=spec.max_time,
                 max_evaluations=spec.max_evaluations,
                 initial_configurations=spec.initial_configurations,
                 defer_initial_submit=batching_runs,
+                journal_dir=spec.journal_dir,
             )
             for spec in self.specs
         ]
-        index_of.update({id(execution): i for i, execution in enumerate(executions)})
+        self.quarantined = []
+        self._dropped_ids = set()
+        index_of = self._index_of = {
+            id(execution): i for i, execution in enumerate(executions)
+        }
         if batching_runs:
             # The initialisation batches of all campaigns in one evaluation
             # pass (they are the largest submissions of the whole run).
@@ -209,9 +307,22 @@ class CampaignRunner:
             fit_due: List[CampaignExecution] = []
             gp_due: List[CampaignExecution] = []
             for execution in active:
-                if execution.collect() is None:
+                completed = self._step(execution, "collect", execution.collect)
+                if completed is _FAILED:
                     continue
-                if execution.ingest_collected():
+                if completed is None:
+                    # The campaign just finished: commit its final checkpoint
+                    # so ``finished`` is durably recorded.
+                    self._step(
+                        execution,
+                        "checkpoint",
+                        lambda e=execution: e.maybe_checkpoint(force=True),
+                    )
+                    continue
+                due = self._step(execution, "tell", execution.ingest_collected)
+                if due is _FAILED:
+                    continue
+                if due:
                     if self.batch_surrogate_fits and self._fleet_eligible(execution):
                         fit_due.append(execution)
                     elif self.batch_gp_fits and isinstance(
@@ -219,15 +330,28 @@ class CampaignRunner:
                     ):
                         gp_due.append(execution)
                     else:
-                        execution.optimizer.fit_now()
-                execution.charge_tell()
+                        if (
+                            self._step(
+                                execution, "fit", execution.optimizer.fit_now
+                            )
+                            is _FAILED
+                        ):
+                            continue
+                if self._step(execution, "tell", execution.charge_tell) is _FAILED:
+                    continue
                 ticking.append(execution)
-            self._fit_fleet(fit_due)
-            self._fit_gp_fleet(gp_due)
-            self._refresh_priors(ticking)
+            self._fit_fleet(self._surviving(fit_due))
+            self._fit_gp_fleet(self._surviving(gp_due))
+            ticking = self._surviving(ticking)
+            self._refresh_priors(self._surviving(ticking))
+            ticking = self._surviving(ticking)
 
             # ---- ask: candidate generation per campaign, fused scoring
-            pairs = [(execution, execution.begin_ask()) for execution in ticking]
+            pairs = []
+            for execution in ticking:
+                prepared = self._step(execution, "ask", execution.begin_ask)
+                if prepared is not _FAILED:
+                    pairs.append((execution, prepared))
             scored: Dict[int, Tuple] = {}
             if self.batch_candidate_scoring:
                 fused = [
@@ -265,10 +389,14 @@ class CampaignRunner:
             for execution, prepared in pairs:
                 scores = scored.get(id(execution))
                 if scores is not None:
-                    batch = execution.finish_ask(*scores)
+                    batch = self._step(
+                        execution,
+                        "ask",
+                        lambda e=execution, s=scores: e.finish_ask(*s),
+                    )
                 else:
-                    batch = execution.finish_ask()
-                if batch is not None:
+                    batch = self._step(execution, "ask", execution.finish_ask)
+                if batch is not None and batch is not _FAILED:
                     submissions.append((index_of[id(execution)], execution, batch))
             if self.run_batcher is not None and submissions:
                 runtimes = self._run_batch(
@@ -278,9 +406,21 @@ class CampaignRunner:
                     execution.submit_prepared(values)
             else:
                 for _, execution, _ in submissions:
-                    execution.submit_prepared()
-            active = [execution for execution in ticking if not execution.finished]
+                    self._step(execution, "submit", execution.submit_prepared)
+            for execution in self._surviving(ticking):
+                self._step(execution, "checkpoint", execution.maybe_checkpoint)
+            active = [
+                execution
+                for execution in self._surviving(ticking)
+                if not execution.finished
+            ]
         return [execution.result() for execution in executions]
+
+    def _surviving(self, executions: List[CampaignExecution]) -> List[CampaignExecution]:
+        """Filter out campaigns quarantined earlier in the tick."""
+        if not self._dropped_ids:
+            return executions
+        return [e for e in executions if id(e) not in self._dropped_ids]
 
     # ------------------------------------------------------------ run batches
     def _run_batch(self, requests: List[Tuple[int, List[Configuration]]]) -> List:
@@ -320,14 +460,23 @@ class CampaignRunner:
                 # A single campaign (or a degenerate shared-surrogate setup):
                 # the sequential path is the fleet of one.
                 for execution in group:
-                    execution.optimizer.fit_now()
+                    self._step(execution, "fit", execution.optimizer.fit_now)
                 continue
-            fit_forest_fleet(
-                [
-                    (execution.optimizer.surrogate, *execution.optimizer.training_data())
-                    for execution in group
-                ]
-            )
+            try:
+                fit_forest_fleet(
+                    [
+                        (execution.optimizer.surrogate, *execution.optimizer.training_data())
+                        for execution in group
+                    ]
+                )
+            except Exception:
+                if self.on_campaign_error != "quarantine":
+                    raise
+                # Degrade to solo refits; only campaigns whose solo fit also
+                # fails are quarantined.
+                for execution in group:
+                    self._step(execution, "fit", execution.optimizer.fit_now)
+                continue
             for execution in group:
                 execution.optimizer.mark_fitted()
             self.num_fleet_fits += 1
@@ -355,23 +504,30 @@ class CampaignRunner:
             seen_ids = {id(execution.optimizer.surrogate) for execution, _, _ in group}
             if len(group) == 1 or len(seen_ids) != len(group):
                 for execution, _, _ in group:
-                    execution.optimizer.fit_now()
+                    self._step(execution, "fit", execution.optimizer.fit_now)
                 continue
-            fleet = GPFleet(
-                [execution.optimizer.surrogate for execution, _, _ in group]
-            )
-            if key[0] == "extend":
-                fleet.partial_fit(
-                    [X[execution.optimizer.fitted_rows :] for execution, X, _ in group],
-                    [y[execution.optimizer.fitted_rows :] for execution, _, y in group],
+            try:
+                fleet = GPFleet(
+                    [execution.optimizer.surrogate for execution, _, _ in group]
                 )
-                self.num_gp_fleet_extends += 1
-            else:
-                fleet.fit(
-                    [X for _, X, _ in group],
-                    [y for _, _, y in group],
-                )
-                self.num_gp_fleet_full_fits += 1
+                if key[0] == "extend":
+                    fleet.partial_fit(
+                        [X[execution.optimizer.fitted_rows :] for execution, X, _ in group],
+                        [y[execution.optimizer.fitted_rows :] for execution, _, y in group],
+                    )
+                    self.num_gp_fleet_extends += 1
+                else:
+                    fleet.fit(
+                        [X for _, X, _ in group],
+                        [y for _, _, y in group],
+                    )
+                    self.num_gp_fleet_full_fits += 1
+            except Exception:
+                if self.on_campaign_error != "quarantine":
+                    raise
+                for execution, _, _ in group:
+                    self._step(execution, "fit", execution.optimizer.fit_now)
+                continue
             for execution, _, _ in group:
                 execution.optimizer.mark_fitted()
             self.num_gp_fleet_members += len(group)
@@ -409,9 +565,16 @@ class CampaignRunner:
             for chunk in self._chunk_gp_predicts(shape[0], group):
                 if len(chunk) < 2:
                     continue
-                results = GPFleet(
-                    [execution.optimizer.surrogate for execution, _ in chunk]
-                ).predict([prepared.encoded for _, prepared in chunk])
+                try:
+                    results = GPFleet(
+                        [execution.optimizer.surrogate for execution, _ in chunk]
+                    ).predict([prepared.encoded for _, prepared in chunk])
+                except Exception:
+                    if self.on_campaign_error != "quarantine":
+                        raise
+                    # Fused scoring is an optimisation: members without fused
+                    # scores simply score their own pools inside finish_ask.
+                    continue
                 scored.update(
                     (id(execution), result)
                     for (execution, _), result in zip(chunk, results)
@@ -466,12 +629,13 @@ class CampaignRunner:
         :class:`~repro.core.vae.tvae.VAEFleet` pass, bit-identical per
         campaign to a solo ``vae.fit``.
         """
-        due = [
-            (execution, prepared)
-            for execution in ticking
-            for prepared in [execution.prepare_prior_refresh()]
-            if prepared is not None
-        ]
+        due = []
+        for execution in ticking:
+            prepared = self._step(
+                execution, "refresh", execution.prepare_prior_refresh
+            )
+            if prepared is not None and prepared is not _FAILED:
+                due.append((execution, prepared))
         if not due:
             return
         self.num_prior_refreshes += len(due)
@@ -489,20 +653,46 @@ class CampaignRunner:
             groups.setdefault(key, []).append((execution, prepared))
         for group in groups.values():
             if len(group) == 1:
-                _, prepared = group[0]
-                prepared.vae.fit(
-                    prepared.design,
-                    epochs=prepared.epochs,
-                    batch_size=prepared.batch_size,
-                )
+                execution, prepared = group[0]
+                if (
+                    self._step(
+                        execution,
+                        "refresh",
+                        lambda p=prepared: p.vae.fit(
+                            p.design, epochs=p.epochs, batch_size=p.batch_size
+                        ),
+                    )
+                    is _FAILED
+                ):
+                    continue
             else:
                 first = group[0][1]
-                VAEFleet([prepared.vae for _, prepared in group]).fit(
-                    [prepared.design for _, prepared in group],
-                    epochs=first.epochs,
-                    batch_size=first.batch_size,
-                )
+                try:
+                    VAEFleet([prepared.vae for _, prepared in group]).fit(
+                        [prepared.design for _, prepared in group],
+                        epochs=first.epochs,
+                        batch_size=first.batch_size,
+                    )
+                except Exception:
+                    if self.on_campaign_error != "quarantine":
+                        raise
+                    # A failed fused pass leaves the fresh VAEs half-trained;
+                    # re-prepare and train each solo (deterministic per-refresh
+                    # seeds make the rebuilt VAE a clean restart).
+                    for execution, _ in group:
+                        self._step(
+                            execution, "refresh", execution.refresh_prior_if_due
+                        )
+                    continue
                 self.num_vae_fleet_fits += 1
                 self.num_vae_fleet_members += len(group)
             for execution, prepared in group:
-                execution.finish_prior_refresh(prepared)
+                if (
+                    self._step(
+                        execution,
+                        "refresh",
+                        lambda e=execution, p=prepared: e.finish_prior_refresh(p),
+                    )
+                    is _FAILED
+                ):
+                    continue

@@ -20,6 +20,10 @@ models:
   model work queues and RPC mailboxes).
 * :class:`~repro.sim.resources.Container` — continuous-level containers.
 
+It also hosts the deterministic fault-injection harness
+(:class:`~repro.sim.faults.FaultPlan`) used to stress the evaluation
+backends with worker crashes, hangs, stragglers and lost results.
+
 Example
 -------
 >>> from repro.sim import Environment
@@ -44,6 +48,7 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.faults import FaultDecision, FaultPlan
 from repro.sim.process import Process
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 
@@ -53,6 +58,8 @@ __all__ = [
     "Container",
     "Environment",
     "Event",
+    "FaultDecision",
+    "FaultPlan",
     "Interrupt",
     "PriorityResource",
     "Process",

@@ -122,3 +122,74 @@ class TestParsedHistoryCache:
         after = load_histories(directory, toy_space())[0]
         assert len(after) == 1
         assert len(before) > 1
+
+
+class TestCacheBoundIsLRU:
+    """The parsed-history cache is bounded and evicts by recency of *use*."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_history_cache()
+        previous = csvio.set_history_cache_limit(256)
+        yield
+        csvio.set_history_cache_limit(previous)
+        clear_history_cache()
+
+    @staticmethod
+    def write_csvs(directory, n):
+        space = toy_space()
+        paths = []
+        for i in range(n):
+            history = SearchHistory(space)
+            history.record({"x": 0.25, "k": 2 + i}, 10.0 + i, 0.0, 1.0)
+            path = directory / f"h{i}.csv"
+            history.to_csv(path)
+            paths.append(path)
+        return paths
+
+    def test_cache_never_exceeds_its_bound(self, tmp_path):
+        csvio.set_history_cache_limit(3)
+        for path in self.write_csvs(tmp_path, 6):
+            csvio._load_history_cached(path, toy_space())
+        assert len(csvio._HISTORY_CACHE) == 3
+
+    def test_hits_refresh_recency(self, tmp_path, monkeypatch):
+        paths = self.write_csvs(tmp_path, 4)
+        csvio.set_history_cache_limit(3)
+        parses = []
+        real = SearchHistory.from_csv.__func__
+
+        def counting(cls, source, space, objective=None):
+            parses.append(str(source))
+            return real(cls, source, space, objective=objective)
+
+        monkeypatch.setattr(SearchHistory, "from_csv", classmethod(counting))
+        csvio._load_history_cached(paths[0], toy_space())
+        csvio._load_history_cached(paths[1], toy_space())
+        csvio._load_history_cached(paths[2], toy_space())
+        # Touch the oldest entry: it becomes most recently used ...
+        csvio._load_history_cached(paths[0], toy_space())
+        assert len(parses) == 3
+        # ... so loading a fourth file evicts paths[1], not paths[0].
+        csvio._load_history_cached(paths[3], toy_space())
+        csvio._load_history_cached(paths[0], toy_space())  # still cached
+        assert len(parses) == 4
+        csvio._load_history_cached(paths[1], toy_space())  # evicted: re-parse
+        assert len(parses) == 5
+
+    def test_shrinking_the_limit_evicts_immediately(self, tmp_path):
+        for path in self.write_csvs(tmp_path, 5):
+            csvio._load_history_cached(path, toy_space())
+        assert len(csvio._HISTORY_CACHE) == 5
+        csvio.set_history_cache_limit(2)
+        assert len(csvio._HISTORY_CACHE) == 2
+
+    def test_zero_disables_caching(self, tmp_path):
+        csvio.set_history_cache_limit(0)
+        (path,) = self.write_csvs(tmp_path, 1)
+        csvio._load_history_cached(path, toy_space())
+        assert len(csvio._HISTORY_CACHE) == 0
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            csvio.set_history_cache_limit(-1)

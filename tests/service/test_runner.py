@@ -468,3 +468,159 @@ class TestGPFleetRunnerFullSize:
         assert runner.num_gp_fleet_predicts > 0
         fleet_passes = runner.num_gp_fleet_extends + runner.num_gp_fleet_full_fits
         assert runner.num_gp_fleet_members >= 2 * fleet_passes
+
+
+class TestQuarantineAndRunnerJournal:
+    """Graceful degradation: one failing campaign must not sink the batch."""
+
+    @staticmethod
+    def make_exploding_run(limit):
+        """A run function that works ``limit`` times, then always raises."""
+        calls = {"n": 0}
+
+        def run(config):
+            calls["n"] += 1
+            if calls["n"] > limit:
+                raise RuntimeError("injected campaign failure")
+            return run_function(config)
+
+        return run
+
+    def test_runner_journals_campaigns_per_spec(self, tmp_path):
+        from repro.core.journal import CampaignJournal
+
+        space = make_space()
+        sequential = [
+            make_search(seed, space).run(max_time=600.0, max_evaluations=24)
+            for seed in range(3)
+        ]
+        runner = CampaignRunner(
+            [
+                CampaignSpec(
+                    search=make_search(seed, space),
+                    max_time=600.0,
+                    max_evaluations=24,
+                    journal_dir=tmp_path / f"c{seed}",
+                )
+                for seed in range(3)
+            ]
+        )
+        batched = runner.run()
+        for seed, (a, b) in enumerate(zip(sequential, batched)):
+            assert_identical(a, b)
+            checkpoint = CampaignJournal.read_checkpoint(tmp_path / f"c{seed}")
+            assert checkpoint["finished"] is True
+            assert checkpoint["num_rows"] == len(b.history)
+
+    def test_quarantine_isolates_the_failing_campaign(self):
+        space = make_space()
+        solo = [
+            make_search(seed, space).run(max_time=600.0, max_evaluations=24)
+            for seed in (0, 2)
+        ]
+        specs = [
+            CampaignSpec(
+                search=make_search(0, space), max_time=600.0,
+                max_evaluations=24, label="good-0",
+            ),
+            CampaignSpec(
+                search=CBOSearch(
+                    space,
+                    self.make_exploding_run(12),
+                    num_workers=6,
+                    surrogate=RandomForestSurrogate(n_estimators=6, seed=1),
+                    num_candidates=48,
+                    n_initial_points=5,
+                    seed=1,
+                ),
+                max_time=600.0,
+                max_evaluations=24,
+                label="doomed",
+            ),
+            CampaignSpec(
+                search=make_search(2, space), max_time=600.0,
+                max_evaluations=24, label="good-2",
+            ),
+        ]
+        runner = CampaignRunner(specs, on_campaign_error="quarantine")
+        results = runner.run()
+        assert len(runner.quarantined) == 1
+        entry = runner.quarantined[0]
+        assert entry.index == 1
+        assert entry.label == "doomed"
+        assert "injected campaign failure" in str(entry.error)
+        # Survivors finish bit-identical to their solo runs: the quarantine
+        # must not perturb fleet grouping determinism for healthy campaigns.
+        assert_identical(solo[0], results[0])
+        assert_identical(solo[1], results[2])
+        # The doomed campaign still reports whatever it had completed.
+        assert len(results[1].history) < 24
+
+    def test_quarantined_campaign_is_resumable_from_its_journal(self, tmp_path):
+        space = make_space()
+        doomed = CampaignSpec(
+            search=CBOSearch(
+                space,
+                self.make_exploding_run(12),
+                num_workers=6,
+                surrogate=RandomForestSurrogate(n_estimators=6, seed=1),
+                num_candidates=48,
+                n_initial_points=5,
+                seed=1,
+            ),
+            max_time=600.0,
+            max_evaluations=24,
+            journal_dir=tmp_path / "doomed",
+        )
+        runner = CampaignRunner(
+            [doomed, CampaignSpec(search=make_search(2, space), max_time=600.0, max_evaluations=24)],
+            on_campaign_error="quarantine",
+        )
+        runner.run()
+        assert [q.index for q in runner.quarantined] == [0]
+        # Resume with a repaired run function (same seed/surrogate/space):
+        # the journal restores the completed evaluations and the campaign
+        # runs to its budget.
+        repaired = CBOSearch(
+            space,
+            run_function,
+            num_workers=6,
+            surrogate=RandomForestSurrogate(n_estimators=6, seed=1),
+            num_candidates=48,
+            n_initial_points=5,
+            seed=1,
+        )
+        execution = repaired.resume(tmp_path / "doomed")
+        restored = len(execution.history)
+        assert restored > 0
+        while execution.advance():
+            pass
+        result = execution.result()
+        assert result.num_evaluations >= max(restored, 24 - 6)
+        assert math.isfinite(result.best_runtime)
+
+    def test_raise_mode_propagates_the_error(self):
+        space = make_space()
+        specs = [
+            CampaignSpec(
+                search=CBOSearch(
+                    space,
+                    self.make_exploding_run(8),
+                    num_workers=6,
+                    surrogate=RandomForestSurrogate(n_estimators=6, seed=1),
+                    num_candidates=48,
+                    n_initial_points=5,
+                    seed=1,
+                ),
+                max_time=600.0,
+                max_evaluations=24,
+            ),
+        ]
+        with pytest.raises(RuntimeError, match="injected campaign failure"):
+            CampaignRunner(specs).run()
+
+    def test_on_campaign_error_is_validated(self):
+        space = make_space()
+        specs = [CampaignSpec(search=make_search(0, space), max_time=100.0)]
+        with pytest.raises(ValueError, match="on_campaign_error"):
+            CampaignRunner(specs, on_campaign_error="ignore")
