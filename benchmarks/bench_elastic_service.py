@@ -1,0 +1,288 @@
+"""Elastic tuning service under a campaign burst — arrivals, latency, fusion.
+
+The service scenario of the elastic runner: a burst of mixed-surrogate
+campaigns (RF, GP, RF+periodic-VAE-refresh) arrives in waves at an
+:class:`~repro.service.ElasticCampaignRunner` with bounded admission
+(``max_inflight``).  Campaigns join mid-flight, fuse into whatever fleet
+groups exist on their tick, and leave when their budget is spent.  The
+benchmark records:
+
+* the **arrival curve** — campaigns admitted and completed per tick, plus
+  the queue depth over time;
+* **completion times** — ticks from arrival to completion (p50 / p95), i.e.
+  the latency a tenant observes including time queued for admission;
+* the **fleet-fusion hit rate** — the fraction of surrogate refits that ran
+  inside a fused fleet pass rather than solo, the quantity elasticity puts
+  at risk (a shrinking cohort loses fusion partners);
+* end-to-end wall clock vs running every campaign sequentially.
+
+Every campaign's history is asserted **bit-identical** to its solo
+``CBOSearch.run`` at full size — elasticity changes scheduling, never
+results.  Results are written to ``BENCH_elastic_service.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_elastic_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.search import CBOSearch, SearchResult
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    RealParameter,
+    SearchSpace,
+)
+from repro.core.surrogate import RandomForestSurrogate
+from repro.service import CampaignSpec, ElasticCampaignRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_elastic_service.json"
+
+NUM_CAMPAIGNS = 36
+MAX_INFLIGHT = 8
+WAVE_SIZE = 6
+WAVE_SPACING = 3  # ticks between arrival waves
+
+
+def make_space() -> SearchSpace:
+    return SearchSpace(
+        [
+            IntegerParameter("batch", 1, 1024, log=True),
+            RealParameter("rate", 0.1, 50.0, log=True),
+            CategoricalParameter("pool", ("fifo", "prio", "wait")),
+            CategoricalParameter.boolean("busy"),
+        ]
+    )
+
+
+def run_function(config) -> float:
+    value = abs(math.log(config["batch"]) - 4.0) + 0.3 * math.log(config["rate"])
+    value += 1.0 if config["pool"] == "wait" else 0.0
+    return 30.0 + 12.0 * value
+
+
+# A rotation of heterogeneous campaign kinds: fleet groups must re-form from
+# whatever mix is in flight, so the burst cycles through all three.
+def make_search(index: int, space: SearchSpace) -> CBOSearch:
+    kind = ("rf", "gp", "refresh")[index % 3]
+    if kind == "gp":
+        return CBOSearch(
+            space, run_function, num_workers=4, surrogate="GP",
+            num_candidates=32, n_initial_points=4, seed=index,
+        )
+    params = dict(
+        num_workers=6,
+        surrogate=RandomForestSurrogate(n_estimators=6, seed=index),
+        num_candidates=48,
+        n_initial_points=5,
+        seed=index,
+    )
+    if kind == "refresh":
+        params.update(
+            prior_refresh_interval=8, prior_refresh_top_k=8,
+            prior_refresh_epochs=12,
+        )
+    return CBOSearch(space, run_function, **params)
+
+
+def budget_of(index: int) -> Dict[str, float]:
+    kind = ("rf", "gp", "refresh")[index % 3]
+    return {
+        "rf": dict(max_time=600.0, max_evaluations=18),
+        "gp": dict(max_time=400.0, max_evaluations=12),
+        "refresh": dict(max_time=700.0, max_evaluations=24),
+    }[kind]
+
+
+def assert_results_identical(a: SearchResult, b: SearchResult, label: str) -> None:
+    assert len(a.history) == len(b.history), f"{label}: history length"
+    for ev_a, ev_b in zip(a.history, b.history):
+        assert ev_a.configuration == ev_b.configuration, f"{label}: configuration"
+        assert ev_a.submitted == ev_b.submitted, f"{label}: submitted"
+        assert ev_a.completed == ev_b.completed, f"{label}: completed"
+        assert (ev_a.objective == ev_b.objective) or (
+            math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
+        ), f"{label}: objective"
+    assert a.busy_intervals == b.busy_intervals, f"{label}: busy intervals"
+    assert a.best_configuration == b.best_configuration, f"{label}: incumbent"
+
+
+def percentile(values: List[int], q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def measure(num_campaigns: int) -> Dict[str, object]:
+    space = make_space()
+
+    # Sequential baseline: every campaign solo, back to back.
+    start = time.perf_counter()
+    solo = [
+        make_search(index, space).run(**budget_of(index))
+        for index in range(num_campaigns)
+    ]
+    sequential_s = time.perf_counter() - start
+
+    # Elastic burst: waves of arrivals under bounded admission.
+    runner = ElasticCampaignRunner(max_inflight=MAX_INFLIGHT)
+    arrival_of = {}
+    for index in range(num_campaigns):
+        arrival = (index // WAVE_SIZE) * WAVE_SPACING
+        arrival_of[index] = arrival
+        runner.admit(
+            CampaignSpec(
+                search=make_search(index, space),
+                label=f"svc-{index}",
+                **budget_of(index),
+            ),
+            arrival_tick=arrival,
+        )
+
+    completed_tick: Dict[int, int] = {}
+    admitted_tick: Dict[int, int] = {}
+    curve = []
+    start = time.perf_counter()
+    while runner._active or runner._admission_queue:
+        runner.tick()
+        tick = runner.num_ticks
+        for index in runner.admitted_order:
+            admitted_tick.setdefault(index, tick)
+        for index, execution in enumerate(runner._executions):
+            if (
+                execution is not None
+                and execution.finished
+                and index not in completed_tick
+            ):
+                completed_tick[index] = tick
+        curve.append(
+            {
+                "tick": tick,
+                "admitted": len(admitted_tick),
+                "completed": len(completed_tick),
+                "inflight": runner.num_inflight,
+                "waiting": runner.num_waiting,
+            }
+        )
+    elastic_s = time.perf_counter() - start
+
+    results = runner.results()
+    for index in range(num_campaigns):
+        assert_results_identical(solo[index], results[index], f"campaign {index}")
+
+    latencies = [
+        completed_tick[index] - arrival_of[index] for index in range(num_campaigns)
+    ]
+    queue_delays = [
+        admitted_tick[index] - arrival_of[index] for index in range(num_campaigns)
+    ]
+    fused = runner.num_fleet_fitted_surrogates + runner.num_gp_fleet_members
+    solo_fits = runner.num_solo_fits
+    return {
+        "num_campaigns": num_campaigns,
+        "max_inflight": MAX_INFLIGHT,
+        "wave_size": WAVE_SIZE,
+        "wave_spacing_ticks": WAVE_SPACING,
+        "total_ticks": runner.num_ticks,
+        "arrival_curve": curve,
+        "completion_ticks": {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "max": max(latencies),
+        },
+        "admission_delay_ticks": {
+            "p50": percentile(queue_delays, 0.50),
+            "p95": percentile(queue_delays, 0.95),
+            "max": max(queue_delays),
+        },
+        "fleet_fusion": {
+            "fused_member_fits": fused,
+            "solo_fits": solo_fits,
+            "hit_rate": fused / max(fused + solo_fits, 1),
+            "fleet_fit_passes": runner.num_fleet_fits,
+            "gp_fleet_extends": runner.num_gp_fleet_extends,
+            "gp_fleet_full_fits": runner.num_gp_fleet_full_fits,
+            "vae_fleet_fits": runner.num_vae_fleet_fits,
+        },
+        "sequential_s": sequential_s,
+        "elastic_s": elastic_s,
+        "speedup": sequential_s / max(elastic_s, 1e-12),
+        "bit_identical": True,
+    }
+
+
+def run_benchmark(output: Path = DEFAULT_OUTPUT, quick: bool = False):
+    num_campaigns = 12 if quick else NUM_CAMPAIGNS
+    burst = measure(num_campaigns)
+    fusion = burst["fleet_fusion"]
+    print(
+        f"burst        {num_campaigns} campaigns in waves of {WAVE_SIZE}, "
+        f"max_inflight {MAX_INFLIGHT}: {burst['total_ticks']} ticks"
+    )
+    print(
+        f"completion   p50 {burst['completion_ticks']['p50']:.1f}  "
+        f"p95 {burst['completion_ticks']['p95']:.1f} ticks from arrival "
+        f"(admission delay p95 {burst['admission_delay_ticks']['p95']:.1f})"
+    )
+    print(
+        f"fusion       {fusion['fused_member_fits']} fused member fits vs "
+        f"{fusion['solo_fits']} solo -> hit rate {fusion['hit_rate']:.2f}"
+    )
+    print(
+        f"wall clock   sequential {burst['sequential_s']:.2f}s  "
+        f"elastic {burst['elastic_s']:.2f}s  "
+        f"speedup {burst['speedup']:.2f}x  (bit-identical)"
+    )
+    payload = {
+        "benchmark": "elastic_service",
+        "quick": quick,
+        "description": (
+            "A burst of mixed RF/GP/VAE-refresh campaigns arriving in waves "
+            "at an ElasticCampaignRunner with bounded admission. Reports the "
+            "arrival/completion curve, per-campaign completion latency in "
+            "ticks, the fleet-fusion hit rate (fused member fits over all "
+            "fits), and end-to-end wall clock vs sequential solo runs. Every "
+            "campaign's history is asserted bit-identical to its solo run."
+        ),
+        "burst": burst,
+        "acceptance": {
+            "criterion": (
+                "all campaigns complete under admission control with "
+                "per-campaign histories bit-identical to solo runs and a "
+                "non-zero fleet-fusion hit rate at full size"
+            ),
+            "bit_identical": burst["bit_identical"],
+            "fusion_hit_rate": fusion["hit_rate"],
+            "passed": bool(burst["bit_identical"] and fusion["hit_rate"] > 0.0),
+        },
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    status = "PASS" if payload["acceptance"]["passed"] else "FAIL"
+    print(f"acceptance ({payload['acceptance']['criterion']}): {status}")
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced burst size")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
+    args = parser.parse_args(argv)
+    return run_benchmark(output=args.output, quick=args.quick)
+
+
+if __name__ == "__main__":
+    main()

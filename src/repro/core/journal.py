@@ -276,6 +276,16 @@ class CampaignJournal:
         atomic_write_text(self._meta_path(), _dump_json(meta))
 
     @staticmethod
+    def exists(directory: Union[str, Path]) -> bool:
+        """Whether ``directory`` already holds a campaign journal.
+
+        The meta record is the journal's birth certificate (written first,
+        atomically), so its presence is the create-or-attach pivot used by
+        the campaign registry and ``CBOSearch.start_or_resume``.
+        """
+        return (Path(directory) / META_NAME).exists()
+
+    @staticmethod
     def read_meta(directory: Union[str, Path]) -> Dict:
         path = Path(directory) / META_NAME
         if not path.exists():

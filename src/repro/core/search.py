@@ -301,6 +301,44 @@ class CBOSearch:
         """
         return CampaignExecution.resume(self, journal_dir)
 
+    def start_or_resume(
+        self,
+        journal_dir,
+        max_time: float = 3600.0,
+        max_evaluations: Optional[int] = None,
+        initial_configurations: Optional[Sequence[Configuration]] = None,
+        defer_initial_submit: bool = False,
+        journal_fsync: bool = True,
+        checkpoint_interval: int = 1,
+    ) -> "CampaignExecution":
+        """Create-or-attach on a journal directory (the registry's semantics).
+
+        When ``journal_dir`` already holds a campaign journal the campaign
+        is *resumed* from its last checkpoint (:meth:`resume` — bit-identical
+        continuation, budgets come from the journal meta and the remaining
+        arguments are ignored); otherwise a fresh journaled campaign is
+        started there.  Either way the caller gets a live
+        :class:`CampaignExecution` for the study name backing that
+        directory.
+        """
+        if CampaignJournal.exists(journal_dir):
+            return CampaignExecution.resume(
+                self,
+                journal_dir,
+                journal_fsync=journal_fsync,
+                checkpoint_interval=checkpoint_interval,
+                defer_initial_submit=defer_initial_submit,
+            )
+        return self.start(
+            max_time=max_time,
+            max_evaluations=max_evaluations,
+            initial_configurations=initial_configurations,
+            defer_initial_submit=defer_initial_submit,
+            journal_dir=journal_dir,
+            journal_fsync=journal_fsync,
+            checkpoint_interval=checkpoint_interval,
+        )
+
 
 @dataclass
 class PreparedPriorRefresh:
@@ -705,6 +743,48 @@ class CampaignExecution:
         self.maybe_checkpoint()
         return True
 
+    # --------------------------------------------------------------- ask/tell
+    def next_suggestion(self) -> Optional[List[Configuration]]:
+        """Advance to the next proposal batch without evaluating it (ask/tell).
+
+        The client-driven form of :meth:`advance`: the returned
+        configurations are *suggested* to an external client, which runs
+        them itself and reports the measured runtimes back through
+        :meth:`report_runtimes`.  Suggest is idempotent until reported — a
+        batch already outstanding is returned unchanged — and ``None`` means
+        the campaign is finished.  The campaign must have been started with
+        ``defer_initial_submit=True`` (the registry does), otherwise the
+        initial batch is evaluated in-process before the first suggestion.
+
+        Crash safety: nothing is checkpointed *during* a suggestion — the
+        journal advances only in :meth:`report_runtimes` — so a service that
+        dies between suggest and report resumes at the previous report and
+        deterministically re-derives the identical batch on its next
+        suggest.
+        """
+        while self._pending_batch is None and not self.finished:
+            if self.collect() is None:
+                break
+            self.tell_collected()
+            self.refresh_prior_if_due()
+            self.prepare_submit()
+        if self._pending_batch is None:
+            self.maybe_checkpoint(force=True)
+            return None
+        return self._pending_batch
+
+    def report_runtimes(self, runtimes: Sequence[float]) -> None:
+        """Record the client-measured runtimes of the last suggested batch."""
+        if self._pending_batch is None:
+            raise ValueError("no suggested batch is outstanding")
+        if len(runtimes) != len(self._pending_batch):
+            raise ValueError(
+                f"got {len(runtimes)} runtimes for a suggested batch of "
+                f"{len(self._pending_batch)} configurations"
+            )
+        self.submit_prepared([float(value) for value in runtimes])
+        self.maybe_checkpoint()
+
     # ---------------------------------------------------------------- journal
     def maybe_checkpoint(self, force: bool = False) -> bool:
         """Journal new rows/intervals and commit a checkpoint when one is due.
@@ -747,8 +827,14 @@ class CampaignExecution:
         journal_dir,
         journal_fsync: bool = True,
         checkpoint_interval: int = 1,
+        defer_initial_submit: bool = False,
     ) -> "CampaignExecution":
         """Reconstruct a crashed journaled campaign from its sidecar directory.
+
+        ``defer_initial_submit`` only matters on the restart-from-scratch
+        path (a journal with no checkpoint yet): ask/tell drivers pass True
+        so the rebuilt initial batch is suggested to the client instead of
+        evaluated in-process.
 
         ``search`` must be a *freshly constructed* search with the same
         parameters as the crashed run — the journal's meta record is
@@ -782,6 +868,7 @@ class CampaignExecution:
                 search,
                 max_time=max_time,
                 max_evaluations=max_evaluations,
+                defer_initial_submit=defer_initial_submit,
                 journal_dir=journal_dir,
                 journal_fsync=journal_fsync,
                 checkpoint_interval=checkpoint_interval,

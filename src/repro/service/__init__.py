@@ -1,4 +1,4 @@
-"""Service-scale campaign execution: shared worker pools and batch runners.
+"""Service-scale campaign execution: pools, runners, registry and frontend.
 
 This package opens the fleet scenario of the roadmap — many concurrent
 autotuning campaigns against shared evaluation capacity:
@@ -8,19 +8,60 @@ autotuning campaigns against shared evaluation capacity:
   evaluation backend speaking the same ``submit``/``collect``/``wait_any``
   protocol as the private
   :class:`~repro.core.evaluator.AsyncVirtualEvaluator`, so campaigns can
-  target a shared service fleet via ``CBOSearch(evaluator_factory=...)``;
+  target a shared service fleet via ``CBOSearch(evaluator_factory=...)``,
+  with optional per-tenant worker-slot caps (``tenant_slots``);
 * :class:`~repro.service.runner.CampaignRunner` — N campaigns advanced in
-  lock-step batch ticks over one event loop, with the due random-forest
-  refits of each tick fused into a single bit-identical fleet fit.
+  lock-step batch ticks over one event loop, with the due surrogate refits
+  of each tick fused into bit-identical fleet passes;
+* :class:`~repro.service.runner.ElasticCampaignRunner` — the elastic form:
+  campaigns join mid-flight under admission control (``max_inflight``,
+  per-tenant bounds) and leave when finished or quarantined, with the
+  fusion groups re-planned every tick
+  (:func:`~repro.service.grouping.plan_tick_groups`);
+* :class:`~repro.service.registry.CampaignRegistry` — named studies with
+  Optuna-style create-or-attach semantics over the journal store;
+* :class:`~repro.service.frontend.StudyClient` /
+  :class:`~repro.service.frontend.StudyFrontend` /
+  :class:`~repro.service.frontend.HTTPStudyClient` — the ask/tell surface,
+  in-process and as stdlib JSON-over-HTTP.
 """
 
 from repro.service.evaluator import ServiceEvaluator, SharedWorkerPool
-from repro.service.runner import CampaignRunner, CampaignSpec, QuarantinedCampaign
+from repro.service.frontend import HTTPStudyClient, StudyClient, StudyFrontend
+from repro.service.grouping import TickGroup, plan_tick_groups
+from repro.service.registry import (
+    CampaignRegistry,
+    ProtocolError,
+    RegistryError,
+    StudyConflictError,
+    StudyRecord,
+    UnknownStudyError,
+    UnknownTemplateError,
+)
+from repro.service.runner import (
+    CampaignRunner,
+    CampaignSpec,
+    ElasticCampaignRunner,
+    QuarantinedCampaign,
+)
 
 __all__ = [
     "ServiceEvaluator",
     "SharedWorkerPool",
     "CampaignRunner",
     "CampaignSpec",
+    "ElasticCampaignRunner",
     "QuarantinedCampaign",
+    "TickGroup",
+    "plan_tick_groups",
+    "CampaignRegistry",
+    "StudyRecord",
+    "RegistryError",
+    "UnknownStudyError",
+    "UnknownTemplateError",
+    "StudyConflictError",
+    "ProtocolError",
+    "StudyClient",
+    "StudyFrontend",
+    "HTTPStudyClient",
 ]

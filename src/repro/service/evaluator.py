@@ -75,6 +75,15 @@ class SharedWorkerPool:
         declared failed.
     backoff_base:
         Backoff before the first resubmission, doubled per further attempt.
+    tenant_slots:
+        Optional per-tenant worker-slot caps (``{tenant: max_running}``): a
+        tenant at its cap has further requests queued even while workers sit
+        idle, so no tenant can monopolise the fleet.  Tenants absent from
+        the mapping are uncapped.  Queued requests of capped tenants are
+        overtaken by admissible ones (per-tenant fairness); within one
+        tenant, FIFO order is preserved.  ``None`` (default) disables the
+        accounting entirely — the scheduling is then bit-identical to the
+        historic pool.
     """
 
     def __init__(
@@ -84,6 +93,7 @@ class SharedWorkerPool:
         deadline: Optional[float] = None,
         max_retries: int = 2,
         backoff_base: float = 30.0,
+        tenant_slots: Optional[Dict[str, int]] = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -93,6 +103,16 @@ class SharedWorkerPool:
             raise ValueError("max_retries must be >= 0")
         if backoff_base <= 0:
             raise ValueError("backoff_base must be positive")
+        if tenant_slots is not None:
+            tenant_slots = {str(k): int(v) for k, v in tenant_slots.items()}
+            if any(v < 1 for v in tenant_slots.values()):
+                raise ValueError("tenant_slots caps must be >= 1")
+        self.tenant_slots = tenant_slots
+        #: Running evaluations per tenant (all tenants ever seen).
+        self._tenant_running: Dict[str, int] = {}
+        #: High-water mark of concurrently running evaluations per tenant —
+        #: the fairness tests assert shares against this.
+        self.tenant_peak_running: Dict[str, int] = {}
         self.num_workers = int(num_workers)
         self.fault_plan = make_fault_plan(fault_plan)
         self.deadline = None if deadline is None else float(deadline)
@@ -165,19 +185,36 @@ class SharedWorkerPool:
         self.now = time
 
     # ------------------------------------------------------------- scheduling
-    def evaluator_factory(self) -> Callable:
+    def evaluator_factory(self, tenant: str = "default") -> Callable:
         """A ``(run_function, num_workers, failure_duration) → evaluator``
         factory binding new :class:`ServiceEvaluator` clients to this pool
         (the ``num_workers`` argument is ignored — capacity belongs to the
         pool).  Plugs straight into ``CBOSearch(evaluator_factory=...)``.
+        ``tenant`` labels the clients for the pool's per-tenant slot
+        accounting (see ``tenant_slots``).
         """
 
         def factory(run_function, num_workers, failure_duration):
             return ServiceEvaluator(
-                run_function, pool=self, failure_duration=failure_duration
+                run_function, pool=self, failure_duration=failure_duration,
+                tenant=tenant,
             )
 
         return factory
+
+    def tenant_running(self, tenant: str) -> int:
+        """Number of evaluations the tenant is currently running."""
+        return self._tenant_running.get(tenant, 0)
+
+    def _tenant_admissible(self, client: "ServiceEvaluator") -> bool:
+        """Whether starting one more of ``client``'s requests respects its
+        tenant's slot cap (always true without ``tenant_slots``)."""
+        if self.tenant_slots is None:
+            return True
+        cap = self.tenant_slots.get(client.tenant)
+        if cap is None:
+            return True
+        return self._tenant_running.get(client.tenant, 0) < cap
 
     def _start(
         self,
@@ -226,6 +263,10 @@ class SharedWorkerPool:
         if math.isfinite(duration):
             worker.busy_time += duration
         worker.evaluations += 1
+        running = self._tenant_running.get(client.tenant, 0) + 1
+        self._tenant_running[client.tenant] = running
+        if running > self.tenant_peak_running.get(client.tenant, 0):
+            self.tenant_peak_running[client.tenant] = running
         self._running.append((pending, client, seq))
         client._own_running.append(pending)
         client.num_submitted += 1
@@ -240,7 +281,7 @@ class SharedWorkerPool:
         idle = deque(self.idle_workers())
         for i, config in enumerate(configurations):
             runtime = None if runtimes is None else runtimes[i]
-            if idle:
+            if idle and self._tenant_admissible(client):
                 self._start(client, config, self.now, idle.popleft(), runtime)
             else:
                 self._queue.append((client, dict(config), runtime, 0))
@@ -311,7 +352,7 @@ class SharedWorkerPool:
                     self._delayed
                 )
                 idle = self.idle_workers()
-                if idle:
+                if idle and self._tenant_admissible(client):
                     self._start(client, config, ready_at, idle[0], runtime, attempt)
                 else:
                     self._queue.append((client, config, runtime, attempt))
@@ -324,6 +365,7 @@ class SharedWorkerPool:
             worker.evaluations_running -= 1
             if pending.crashed:
                 worker.dead = True
+            self._tenant_running[owner.tenant] -= 1
             owner._own_running.remove(pending)
             if pending.lost:
                 self.num_lost += 1
@@ -339,18 +381,33 @@ class SharedWorkerPool:
                         seq=pending.seq,
                     )
                 )
-            if self._queue and worker.idle:
-                next_client, next_config, next_runtime, next_attempt = (
-                    self._queue.popleft()
-                )
-                self._start(
-                    next_client,
-                    next_config,
-                    pending.completes_at,
-                    worker,
-                    next_runtime,
-                    next_attempt,
-                )
+            self._drain_queue(pending.completes_at)
+
+    def _drain_queue(self, at_time: float) -> None:
+        """Start queued requests on idle workers, honouring tenant caps.
+
+        The oldest *admissible* queued request starts on the lowest-index
+        idle worker, repeatedly: a completion can free both a worker and a
+        tenant slot, unblocking requests of other tenants queued behind a
+        capped one.  Without ``tenant_slots`` this degenerates to the
+        historic drain — at a completion, at most the freed worker is idle
+        while the queue is non-empty, so exactly the oldest queued request
+        starts on it.
+        """
+        while self._queue:
+            idle = self.idle_workers()
+            if not idle:
+                return
+            pos = None
+            for i, entry in enumerate(self._queue):
+                if self._tenant_admissible(entry[0]):
+                    pos = i
+                    break
+            if pos is None:
+                return
+            client, config, runtime, attempt = self._queue[pos]
+            del self._queue[pos]
+            self._start(client, config, at_time, idle[0], runtime, attempt)
 
     # ------------------------------------------------------------------ stats
     def utilization(self, horizon: float) -> float:
@@ -452,6 +509,9 @@ class SharedWorkerPool:
         self.num_exhausted = int(state["num_exhausted"])
         self._running = []
         client._own_running = []
+        # Restored running work all belongs to the sole client; the peak is
+        # a statistic and intentionally not restored.
+        self._tenant_running = {client.tenant: len(state["running"])}
         for p in state["running"]:
             pending = PendingEvaluation(
                 configuration=dict(p["configuration"]),
@@ -519,6 +579,10 @@ class ServiceEvaluator:
         Fault-tolerance policy forwarded to the **private** pool (see
         :class:`SharedWorkerPool`).  When joining an existing pool the policy
         belongs to that pool, so passing any of these with ``pool`` raises.
+    tenant:
+        Tenant label for the pool's per-tenant slot accounting
+        (``SharedWorkerPool(tenant_slots=...)``); inert unless the pool caps
+        this tenant.
     """
 
     def __init__(
@@ -532,6 +596,7 @@ class ServiceEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         max_retries: Optional[int] = None,
         backoff_base: Optional[float] = None,
+        tenant: str = "default",
     ):
         if failure_duration <= 0:
             raise ValueError("failure_duration must be positive")
@@ -553,6 +618,7 @@ class ServiceEvaluator:
                 num_workers, fault_plan=fault_plan, deadline=deadline, **policy
             )
         self.pool = pool
+        self.tenant = str(tenant)
         self.failure_duration = float(failure_duration)
         self.duration_function = duration_function
         self.num_submitted = 0

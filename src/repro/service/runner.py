@@ -1,4 +1,4 @@
-"""Multi-campaign batch runner: many searches over one event loop.
+"""Multi-campaign runners: batch ticks over one event loop, fixed or elastic.
 
 The paper's evaluation runs many asynchronous BO campaigns (setups ×
 methods × repetitions); executed naively they run strictly one after
@@ -40,6 +40,18 @@ wall-clock is shared rather than attributed per campaign, so measured-mode
 virtual timelines differ between the two executions (the default analytic
 model depends only on campaign state and is exactly identical).
 
+The fleet-fusion groups are planned from the **active set of the tick**, by
+the shared pure function :func:`~repro.service.grouping.plan_tick_groups` —
+nothing about a group survives the tick.  That is what makes the runner
+**elastic**: :class:`ElasticCampaignRunner` admits campaigns mid-flight
+(:meth:`~ElasticCampaignRunner.admit`) under admission control
+(``max_inflight`` overall, ``max_inflight_per_tenant`` per tenant), lets
+finished or quarantined campaigns leave, and simply re-plans the groups each
+tick from whoever is active.  Per-campaign bit-identity to an isolated
+sequential run holds regardless of when a campaign joins or leaves the
+fleet, because each campaign's own phase order is unchanged and every fused
+pass is bit-identical per member.
+
 Campaigns may also share a :class:`~repro.service.SharedWorkerPool` through
 ``CBOSearch(evaluator_factory=pool.evaluator_factory())``, in which case they
 compete for the same workers on one clock — the service deployment scenario
@@ -48,9 +60,11 @@ compete for the same workers on one clock — the service deployment scenario
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.journal import CampaignJournal
 from repro.core.search import CampaignExecution, CBOSearch, SearchResult
 from repro.core.space import Configuration
 from repro.core.surrogate.gaussian_process import (
@@ -65,8 +79,14 @@ from repro.core.surrogate.random_forest import (
     predict_forest_fleet,
 )
 from repro.core.vae.tvae import VAEFleet, vae_fleet_key
+from repro.service.grouping import plan_tick_groups
 
-__all__ = ["CampaignSpec", "CampaignRunner", "QuarantinedCampaign"]
+__all__ = [
+    "CampaignSpec",
+    "CampaignRunner",
+    "ElasticCampaignRunner",
+    "QuarantinedCampaign",
+]
 
 
 @dataclass
@@ -76,7 +96,13 @@ class CampaignSpec:
     ``journal_dir`` enables the campaign's crash-safe journal (see
     :mod:`repro.core.journal`): the runner checkpoints the campaign at every
     batch tick, so a crashed or quarantined campaign can be resumed with
-    :meth:`~repro.core.search.CampaignExecution.resume`.
+    :meth:`~repro.core.search.CampaignExecution.resume`.  With
+    ``resume_from_journal`` the runner *attaches* instead of creating: when
+    ``journal_dir`` already holds a journal the campaign resumes from its
+    last checkpoint (bit-identically — the registry's create-or-attach
+    semantics), and only starts fresh when the directory is empty.
+    ``tenant`` labels the campaign's owner for the elastic runner's
+    admission control and the shared pool's per-tenant slot accounting.
     """
 
     search: CBOSearch
@@ -85,6 +111,8 @@ class CampaignSpec:
     initial_configurations: Optional[Sequence[Configuration]] = None
     label: str = ""
     journal_dir: Optional[object] = None
+    tenant: str = "default"
+    resume_from_journal: bool = False
 
 
 @dataclass
@@ -99,8 +127,8 @@ class QuarantinedCampaign:
         The spec's label (may be empty).
     phase:
         The batch-tick phase the error surfaced in
-        (``collect``/``tell``/``fit``/``refresh``/``ask``/``submit``/
-        ``checkpoint``).
+        (``start``/``collect``/``tell``/``fit``/``refresh``/``ask``/
+        ``submit``/``checkpoint``).
     error:
         The exception that triggered the quarantine.
     """
@@ -189,12 +217,32 @@ class CampaignRunner:
     ):
         if not specs:
             raise ValueError("need at least one campaign")
+        self._configure(
+            batch_surrogate_fits=batch_surrogate_fits,
+            batch_candidate_scoring=batch_candidate_scoring,
+            batch_vae_fits=batch_vae_fits,
+            batch_gp_fits=batch_gp_fits,
+            run_batcher=run_batcher,
+            on_campaign_error=on_campaign_error,
+        )
+        self.specs = list(specs)
+
+    def _configure(
+        self,
+        batch_surrogate_fits: bool,
+        batch_candidate_scoring: bool,
+        batch_vae_fits: bool,
+        batch_gp_fits: bool,
+        run_batcher: Optional[Callable],
+        on_campaign_error: str,
+    ) -> None:
+        """Shared option validation and live-state initialisation."""
         if on_campaign_error not in ("raise", "quarantine"):
             raise ValueError(
                 f"unknown on_campaign_error {on_campaign_error!r} "
                 "(expected 'raise' or 'quarantine')"
             )
-        self.specs = list(specs)
+        self.specs: List[CampaignSpec] = []
         self.batch_surrogate_fits = bool(batch_surrogate_fits)
         self.batch_candidate_scoring = bool(batch_candidate_scoring)
         self.batch_vae_fits = bool(batch_vae_fits)
@@ -205,6 +253,13 @@ class CampaignRunner:
         self.quarantined: List[QuarantinedCampaign] = []
         self._index_of: Dict[int, int] = {}
         self._dropped_ids: set = set()
+        #: Executions per spec index (None until started / if start failed).
+        self._executions: List[Optional[CampaignExecution]] = []
+        #: Executions currently advancing in batch ticks.
+        self._active: List[CampaignExecution] = []
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
         #: Number of batch ticks executed by the last :meth:`run`.
         self.num_ticks = 0
         #: Number of fleet fits and of surrogates fitted through them.
@@ -222,6 +277,9 @@ class CampaignRunner:
         self.num_prior_refreshes = 0
         self.num_vae_fleet_fits = 0
         self.num_vae_fleet_members = 0
+        #: Solo surrogate fits a tick ran because no fused group formed —
+        #: together with the fleet counters this yields the fusion hit rate.
+        self.num_solo_fits = 0
 
     # ----------------------------------------------------------- error policy
     def _quarantine(self, execution: CampaignExecution, phase: str, error: BaseException) -> None:
@@ -261,160 +319,201 @@ class CampaignRunner:
     # ------------------------------------------------------------------- run
     def run(self) -> List[SearchResult]:
         """Execute all campaigns; per-spec results in spec order."""
-        batching_runs = self.run_batcher is not None
-        executions = [
-            spec.search.start(
-                max_time=spec.max_time,
-                max_evaluations=spec.max_evaluations,
-                initial_configurations=spec.initial_configurations,
-                defer_initial_submit=batching_runs,
-                journal_dir=spec.journal_dir,
-            )
-            for spec in self.specs
+        self._begin()
+        while self._active:
+            self.tick()
+        return self.results()
+
+    def results(self) -> List[Optional[SearchResult]]:
+        """Per-spec results in spec order (None for never-started specs)."""
+        return [
+            None if execution is None else execution.result()
+            for execution in self._executions
         ]
+
+    def _begin(self) -> None:
+        """Start every spec's execution and reset the run-scoped state."""
         self.quarantined = []
         self._dropped_ids = set()
-        index_of = self._index_of = {
-            id(execution): i for i, execution in enumerate(executions)
-        }
+        self._index_of = {}
+        self._executions = []
+        self._active = []
+        self._reset_counters()
+        self._start_specs(range(len(self.specs)))
+
+    def _start_specs(self, indices: Sequence[int]) -> None:
+        """Start (or resume) the given specs and submit their initial batches.
+
+        With a run batcher, the initialisation batches of all newly started
+        campaigns are evaluated in one fused pass (they are the largest
+        submissions of the whole run).  In quarantine mode a spec whose
+        start itself raises is recorded with phase ``"start"`` instead of
+        aborting the batch.
+        """
+        batching_runs = self.run_batcher is not None
+        started: List[Tuple[int, CampaignExecution]] = []
+        for index in indices:
+            spec = self.specs[index]
+            while len(self._executions) <= index:
+                self._executions.append(None)
+            try:
+                if (
+                    spec.resume_from_journal
+                    and spec.journal_dir is not None
+                    and CampaignJournal.exists(spec.journal_dir)
+                ):
+                    execution = spec.search.resume(spec.journal_dir)
+                else:
+                    execution = spec.search.start(
+                        max_time=spec.max_time,
+                        max_evaluations=spec.max_evaluations,
+                        initial_configurations=spec.initial_configurations,
+                        defer_initial_submit=batching_runs,
+                        journal_dir=spec.journal_dir,
+                    )
+            except Exception as error:
+                if self.on_campaign_error != "quarantine":
+                    raise
+                self.quarantined.append(
+                    QuarantinedCampaign(
+                        index=index, label=spec.label, phase="start", error=error
+                    )
+                )
+                continue
+            self._executions[index] = execution
+            self._index_of[id(execution)] = index
+            self._active.append(execution)
+            started.append((index, execution))
         if batching_runs:
-            # The initialisation batches of all campaigns in one evaluation
-            # pass (they are the largest submissions of the whole run).
             initial = [
-                (i, execution._pending_batch)
-                for i, execution in enumerate(executions)
+                (index, execution._pending_batch)
+                for index, execution in started
                 if execution._pending_batch
             ]
             if initial:
                 runtimes = self._run_batch(initial)
-                for (i, _), values in zip(initial, runtimes):
-                    executions[i].submit_prepared(values)
-        self.num_ticks = 0
-        self.num_fleet_fits = 0
-        self.num_fleet_fitted_surrogates = 0
-        self.num_gp_fleet_full_fits = 0
-        self.num_gp_fleet_extends = 0
-        self.num_gp_fleet_members = 0
-        self.num_gp_fleet_predicts = 0
-        self.num_prior_refreshes = 0
-        self.num_vae_fleet_fits = 0
-        self.num_vae_fleet_members = 0
+                for (index, _), values in zip(initial, runtimes):
+                    self._executions[index].submit_prepared(values)
 
-        active = list(executions)
-        while active:
-            self.num_ticks += 1
-            ticking: List[CampaignExecution] = []
-            fit_due: List[CampaignExecution] = []
-            gp_due: List[CampaignExecution] = []
-            for execution in active:
-                completed = self._step(execution, "collect", execution.collect)
-                if completed is _FAILED:
-                    continue
-                if completed is None:
-                    # The campaign just finished: commit its final checkpoint
-                    # so ``finished`` is durably recorded.
-                    self._step(
-                        execution,
-                        "checkpoint",
-                        lambda e=execution: e.maybe_checkpoint(force=True),
-                    )
-                    continue
-                due = self._step(execution, "tell", execution.ingest_collected)
-                if due is _FAILED:
-                    continue
-                if due:
-                    if self.batch_surrogate_fits and self._fleet_eligible(execution):
-                        fit_due.append(execution)
-                    elif self.batch_gp_fits and isinstance(
-                        execution.optimizer.surrogate, GaussianProcessSurrogate
-                    ):
-                        gp_due.append(execution)
-                    else:
-                        if (
-                            self._step(
-                                execution, "fit", execution.optimizer.fit_now
-                            )
-                            is _FAILED
-                        ):
-                            continue
-                if self._step(execution, "tell", execution.charge_tell) is _FAILED:
-                    continue
-                ticking.append(execution)
-            self._fit_fleet(self._surviving(fit_due))
-            self._fit_gp_fleet(self._surviving(gp_due))
-            ticking = self._surviving(ticking)
-            self._refresh_priors(self._surviving(ticking))
-            ticking = self._surviving(ticking)
+    def tick(self) -> None:
+        """Advance every active campaign by one batch tick.
 
-            # ---- ask: candidate generation per campaign, fused scoring
-            pairs = []
-            for execution in ticking:
-                prepared = self._step(execution, "ask", execution.begin_ask)
-                if prepared is not _FAILED:
-                    pairs.append((execution, prepared))
-            scored: Dict[int, Tuple] = {}
-            if self.batch_candidate_scoring:
-                fused = [
-                    (execution, prepared)
-                    for execution, prepared in pairs
-                    if prepared is not None
-                    and prepared.proposals is None
-                    and prepared.wants_scores
-                    and isinstance(execution.optimizer.surrogate, RandomForestSurrogate)
-                ]
-                # Campaigns may tune different spaces: fuse only pools of
-                # equal encoded width (the traversal stacks the matrices).
-                by_width: Dict[int, List[Tuple[CampaignExecution, object]]] = {}
-                for execution, prepared in fused:
-                    by_width.setdefault(int(prepared.encoded.shape[1]), []).append(
-                        (execution, prepared)
-                    )
-                for group in by_width.values():
-                    if len(group) < 2:
-                        continue
-                    results = predict_forest_fleet(
-                        [
-                            (execution.optimizer.surrogate, prepared.encoded)
-                            for execution, prepared in group
-                        ]
-                    )
-                    scored.update(
-                        (id(execution), result)
-                        for (execution, _), result in zip(group, results)
-                    )
-                self._score_gp_fleet(pairs, scored)
-
-            # ---- submit: batch the run-function calls when a batcher is given
-            submissions: List[Tuple[int, CampaignExecution, List[Configuration]]] = []
-            for execution, prepared in pairs:
-                scores = scored.get(id(execution))
-                if scores is not None:
-                    batch = self._step(
-                        execution,
-                        "ask",
-                        lambda e=execution, s=scores: e.finish_ask(*s),
-                    )
-                else:
-                    batch = self._step(execution, "ask", execution.finish_ask)
-                if batch is not None and batch is not _FAILED:
-                    submissions.append((index_of[id(execution)], execution, batch))
-            if self.run_batcher is not None and submissions:
-                runtimes = self._run_batch(
-                    [(idx, batch) for idx, _, batch in submissions]
+        Fleet-fusion groups are planned fresh from this tick's active set
+        (:func:`~repro.service.grouping.plan_tick_groups`); campaigns that
+        finish or are quarantined during the tick leave the active set at
+        its end.
+        """
+        self.num_ticks += 1
+        index_of = self._index_of
+        ticking: List[CampaignExecution] = []
+        fit_due: List[CampaignExecution] = []
+        gp_due: List[CampaignExecution] = []
+        for execution in self._active:
+            completed = self._step(execution, "collect", execution.collect)
+            if completed is _FAILED:
+                continue
+            if completed is None:
+                # The campaign just finished: commit its final checkpoint
+                # so ``finished`` is durably recorded.
+                self._step(
+                    execution,
+                    "checkpoint",
+                    lambda e=execution: e.maybe_checkpoint(force=True),
                 )
-                for (_, execution, _), values in zip(submissions, runtimes):
-                    execution.submit_prepared(values)
-            else:
-                for _, execution, _ in submissions:
-                    self._step(execution, "submit", execution.submit_prepared)
-            for execution in self._surviving(ticking):
-                self._step(execution, "checkpoint", execution.maybe_checkpoint)
-            active = [
-                execution
-                for execution in self._surviving(ticking)
-                if not execution.finished
+                continue
+            due = self._step(execution, "tell", execution.ingest_collected)
+            if due is _FAILED:
+                continue
+            if due:
+                if self.batch_surrogate_fits and self._fleet_eligible(execution):
+                    fit_due.append(execution)
+                elif self.batch_gp_fits and isinstance(
+                    execution.optimizer.surrogate, GaussianProcessSurrogate
+                ):
+                    gp_due.append(execution)
+                else:
+                    self.num_solo_fits += 1
+                    if (
+                        self._step(
+                            execution, "fit", execution.optimizer.fit_now
+                        )
+                        is _FAILED
+                    ):
+                        continue
+            if self._step(execution, "tell", execution.charge_tell) is _FAILED:
+                continue
+            ticking.append(execution)
+        self._fit_fleet(self._surviving(fit_due))
+        self._fit_gp_fleet(self._surviving(gp_due))
+        ticking = self._surviving(ticking)
+        self._refresh_priors(self._surviving(ticking))
+        ticking = self._surviving(ticking)
+
+        # ---- ask: candidate generation per campaign, fused scoring
+        pairs = []
+        for execution in ticking:
+            prepared = self._step(execution, "ask", execution.begin_ask)
+            if prepared is not _FAILED:
+                pairs.append((execution, prepared))
+        scored: Dict[int, Tuple] = {}
+        if self.batch_candidate_scoring:
+            fused = [
+                (execution, prepared)
+                for execution, prepared in pairs
+                if prepared is not None
+                and prepared.proposals is None
+                and prepared.wants_scores
+                and isinstance(execution.optimizer.surrogate, RandomForestSurrogate)
             ]
-        return [execution.result() for execution in executions]
+            # Campaigns may tune different spaces: fuse only pools of
+            # equal encoded width (the traversal stacks the matrices).
+            for group in plan_tick_groups(
+                fused, key_of=lambda pair: int(pair[1].encoded.shape[1])
+            ):
+                if not group.fused:
+                    continue
+                results = predict_forest_fleet(
+                    [
+                        (execution.optimizer.surrogate, prepared.encoded)
+                        for execution, prepared in group.members
+                    ]
+                )
+                scored.update(
+                    (id(execution), result)
+                    for (execution, _), result in zip(group.members, results)
+                )
+            self._score_gp_fleet(pairs, scored)
+
+        # ---- submit: batch the run-function calls when a batcher is given
+        submissions: List[Tuple[int, CampaignExecution, List[Configuration]]] = []
+        for execution, prepared in pairs:
+            scores = scored.get(id(execution))
+            if scores is not None:
+                batch = self._step(
+                    execution,
+                    "ask",
+                    lambda e=execution, s=scores: e.finish_ask(*s),
+                )
+            else:
+                batch = self._step(execution, "ask", execution.finish_ask)
+            if batch is not None and batch is not _FAILED:
+                submissions.append((index_of[id(execution)], execution, batch))
+        if self.run_batcher is not None and submissions:
+            runtimes = self._run_batch(
+                [(idx, batch) for idx, _, batch in submissions]
+            )
+            for (_, execution, _), values in zip(submissions, runtimes):
+                execution.submit_prepared(values)
+        else:
+            for _, execution, _ in submissions:
+                self._step(execution, "submit", execution.submit_prepared)
+        for execution in self._surviving(ticking):
+            self._step(execution, "checkpoint", execution.maybe_checkpoint)
+        self._active = [
+            execution
+            for execution in self._surviving(ticking)
+            if not execution.finished
+        ]
 
     def _surviving(self, executions: List[CampaignExecution]) -> List[CampaignExecution]:
         """Filter out campaigns quarantined earlier in the tick."""
@@ -448,25 +547,26 @@ class CampaignRunner:
 
     def _fit_fleet(self, fit_due: List[CampaignExecution]) -> None:
         """Fit the due RF surrogates, grouped by compatible hyperparameters."""
-        groups: Dict[Tuple, List[CampaignExecution]] = {}
-        for execution in fit_due:
-            surrogate = execution.optimizer.surrogate
-            X, _ = execution.optimizer.training_data()
-            key = fleet_compatibility_key(surrogate, X.shape[1])
-            groups.setdefault(key, []).append(execution)
-        for group in groups.values():
-            seen_ids = {id(execution.optimizer.surrogate) for execution in group}
-            if len(group) == 1 or len(seen_ids) != len(group):
+        groups = plan_tick_groups(
+            fit_due,
+            key_of=lambda e: fleet_compatibility_key(
+                e.optimizer.surrogate, e.optimizer.training_data()[0].shape[1]
+            ),
+            identity_of=lambda e: id(e.optimizer.surrogate),
+        )
+        for group in groups:
+            if not group.fused:
                 # A single campaign (or a degenerate shared-surrogate setup):
                 # the sequential path is the fleet of one.
-                for execution in group:
+                for execution in group.members:
+                    self.num_solo_fits += 1
                     self._step(execution, "fit", execution.optimizer.fit_now)
                 continue
             try:
                 fit_forest_fleet(
                     [
                         (execution.optimizer.surrogate, *execution.optimizer.training_data())
-                        for execution in group
+                        for execution in group.members
                     ]
                 )
             except Exception:
@@ -474,13 +574,13 @@ class CampaignRunner:
                     raise
                 # Degrade to solo refits; only campaigns whose solo fit also
                 # fails are quarantined.
-                for execution in group:
+                for execution in group.members:
                     self._step(execution, "fit", execution.optimizer.fit_now)
                 continue
-            for execution in group:
+            for execution in group.members:
                 execution.optimizer.mark_fitted()
             self.num_fleet_fits += 1
-            self.num_fleet_fitted_surrogates += len(group)
+            self.num_fleet_fitted_surrogates += len(group.members)
 
     def _fit_gp_fleet(self, fit_due: List[CampaignExecution]) -> None:
         """Fit the due GP surrogates, grouped by fleet mode and shape.
@@ -493,44 +593,58 @@ class CampaignRunner:
         the norm for GPs) and degenerate shared-surrogate setups take the
         sequential ``fit_now`` path: a fleet of one is the solo fit.
         """
-        groups: Dict[Tuple, List[Tuple[CampaignExecution, object, object]]] = {}
+        items: List[Tuple[CampaignExecution, object, object]] = []
         for execution in fit_due:
+            X, y = execution.optimizer.training_data()
+            items.append((execution, X, y))
+
+        def gp_key(item):
+            execution, X, _ = item
             optimizer = execution.optimizer
-            X, y = optimizer.training_data()
             num_new = X.shape[0] - optimizer.fitted_rows
-            key = gp_fleet_key(optimizer.surrogate, X.shape[0], num_new, X.shape[1])
-            groups.setdefault(key, []).append((execution, X, y))
-        for key, group in groups.items():
-            seen_ids = {id(execution.optimizer.surrogate) for execution, _, _ in group}
-            if len(group) == 1 or len(seen_ids) != len(group):
-                for execution, _, _ in group:
+            return gp_fleet_key(optimizer.surrogate, X.shape[0], num_new, X.shape[1])
+
+        for group in plan_tick_groups(
+            items,
+            key_of=gp_key,
+            identity_of=lambda item: id(item[0].optimizer.surrogate),
+        ):
+            if not group.fused:
+                for execution, _, _ in group.members:
+                    self.num_solo_fits += 1
                     self._step(execution, "fit", execution.optimizer.fit_now)
                 continue
             try:
                 fleet = GPFleet(
-                    [execution.optimizer.surrogate for execution, _, _ in group]
+                    [execution.optimizer.surrogate for execution, _, _ in group.members]
                 )
-                if key[0] == "extend":
+                if group.key[0] == "extend":
                     fleet.partial_fit(
-                        [X[execution.optimizer.fitted_rows :] for execution, X, _ in group],
-                        [y[execution.optimizer.fitted_rows :] for execution, _, y in group],
+                        [
+                            X[execution.optimizer.fitted_rows :]
+                            for execution, X, _ in group.members
+                        ],
+                        [
+                            y[execution.optimizer.fitted_rows :]
+                            for execution, _, y in group.members
+                        ],
                     )
                     self.num_gp_fleet_extends += 1
                 else:
                     fleet.fit(
-                        [X for _, X, _ in group],
-                        [y for _, _, y in group],
+                        [X for _, X, _ in group.members],
+                        [y for _, _, y in group.members],
                     )
                     self.num_gp_fleet_full_fits += 1
             except Exception:
                 if self.on_campaign_error != "quarantine":
                     raise
-                for execution, _, _ in group:
+                for execution, _, _ in group.members:
                     self._step(execution, "fit", execution.optimizer.fit_now)
                 continue
-            for execution, _, _ in group:
+            for execution, _, _ in group.members:
                 execution.optimizer.mark_fitted()
-            self.num_gp_fleet_members += len(group)
+            self.num_gp_fleet_members += len(group.members)
 
     def _score_gp_fleet(self, pairs, scored: Dict[int, Tuple]) -> None:
         """Fuse the tick's GP-backed candidate scoring where shapes align.
@@ -551,18 +665,14 @@ class CampaignRunner:
             and isinstance(execution.optimizer.surrogate, GaussianProcessSurrogate)
             and execution.optimizer.surrogate.fitted
         ]
-        by_shape: Dict[Tuple, List[Tuple[CampaignExecution, object]]] = {}
-        for execution, prepared in pool:
-            by_shape.setdefault(tuple(prepared.encoded.shape), []).append(
-                (execution, prepared)
-            )
-        for shape, group in by_shape.items():
-            if len(group) < 2:
+        for group in plan_tick_groups(
+            pool,
+            key_of=lambda pair: tuple(pair[1].encoded.shape),
+            identity_of=lambda pair: id(pair[0].optimizer.surrogate),
+        ):
+            if not group.fused:
                 continue
-            seen_ids = {id(execution.optimizer.surrogate) for execution, _ in group}
-            if len(seen_ids) != len(group):
-                continue
-            for chunk in self._chunk_gp_predicts(shape[0], group):
+            for chunk in self._chunk_gp_predicts(group.key[0], group.members):
                 if len(chunk) < 2:
                     continue
                 try:
@@ -639,60 +749,247 @@ class CampaignRunner:
         if not due:
             return
         self.num_prior_refreshes += len(due)
-        groups: Dict[Tuple, List] = {}
-        for execution, prepared in due:
-            if not self.batch_vae_fits:
-                key: Tuple = (id(execution),)
-            else:
-                key = vae_fleet_key(
+        if self.batch_vae_fits:
+            def refresh_key(pair):
+                prepared = pair[1]
+                return vae_fleet_key(
                     prepared.vae,
                     prepared.design.shape[0],
                     prepared.epochs,
                     prepared.batch_size,
                 )
-            groups.setdefault(key, []).append((execution, prepared))
-        for group in groups.values():
-            if len(group) == 1:
-                execution, prepared = group[0]
-                if (
-                    self._step(
-                        execution,
-                        "refresh",
-                        lambda p=prepared: p.vae.fit(
-                            p.design, epochs=p.epochs, batch_size=p.batch_size
-                        ),
-                    )
-                    is _FAILED
-                ):
-                    continue
-            else:
-                first = group[0][1]
-                try:
-                    VAEFleet([prepared.vae for _, prepared in group]).fit(
-                        [prepared.design for _, prepared in group],
-                        epochs=first.epochs,
-                        batch_size=first.batch_size,
-                    )
-                except Exception:
-                    if self.on_campaign_error != "quarantine":
-                        raise
-                    # A failed fused pass leaves the fresh VAEs half-trained;
-                    # re-prepare and train each solo (deterministic per-refresh
-                    # seeds make the rebuilt VAE a clean restart).
-                    for execution, _ in group:
+        else:
+            def refresh_key(pair):
+                return (id(pair[0]),)
+        for group in plan_tick_groups(
+            due, key_of=refresh_key, identity_of=lambda pair: id(pair[1].vae)
+        ):
+            if not group.fused:
+                for execution, prepared in group.members:
+                    if (
                         self._step(
-                            execution, "refresh", execution.refresh_prior_if_due
+                            execution,
+                            "refresh",
+                            lambda p=prepared: p.vae.fit(
+                                p.design, epochs=p.epochs, batch_size=p.batch_size
+                            ),
                         )
-                    continue
-                self.num_vae_fleet_fits += 1
-                self.num_vae_fleet_members += len(group)
-            for execution, prepared in group:
-                if (
+                        is _FAILED
+                    ):
+                        continue
+                    self._finish_refresh(execution, prepared)
+                continue
+            first = group.members[0][1]
+            try:
+                VAEFleet([prepared.vae for _, prepared in group.members]).fit(
+                    [prepared.design for _, prepared in group.members],
+                    epochs=first.epochs,
+                    batch_size=first.batch_size,
+                )
+            except Exception:
+                if self.on_campaign_error != "quarantine":
+                    raise
+                # A failed fused pass leaves the fresh VAEs half-trained;
+                # re-prepare and train each solo (deterministic per-refresh
+                # seeds make the rebuilt VAE a clean restart).
+                for execution, _ in group.members:
                     self._step(
-                        execution,
-                        "refresh",
-                        lambda e=execution, p=prepared: e.finish_prior_refresh(p),
+                        execution, "refresh", execution.refresh_prior_if_due
                     )
-                    is _FAILED
-                ):
-                    continue
+                continue
+            self.num_vae_fleet_fits += 1
+            self.num_vae_fleet_members += len(group.members)
+            for execution, prepared in group.members:
+                self._finish_refresh(execution, prepared)
+
+    def _finish_refresh(self, execution: CampaignExecution, prepared) -> None:
+        """Install one campaign's trained refresh VAE under the error policy."""
+        self._step(
+            execution,
+            "refresh",
+            lambda e=execution, p=prepared: e.finish_prior_refresh(p),
+        )
+
+
+class ElasticCampaignRunner(CampaignRunner):
+    """A :class:`CampaignRunner` whose fleet changes while it runs.
+
+    Campaigns **join** through :meth:`admit` — immediately, or at a declared
+    future tick (the burst scenario's arrival schedule) — and **leave** when
+    they finish or are quarantined; the fleet-fusion groups re-form from the
+    surviving active set every tick, so membership changes never perturb any
+    member's results.  Each campaign with private workers remains
+    bit-identical to its isolated sequential run regardless of when it
+    joined or left.
+
+    Admission control gates how many admitted campaigns are actually
+    in-flight:
+
+    ``max_inflight``
+        Upper bound on concurrently active campaigns.  Arrivals beyond it
+        wait in a FIFO admission queue and enter as slots free up — every
+        admitted campaign eventually runs (no starvation: the queue is
+        drained strictly in order for campaigns blocked on the global
+        limit).
+    ``max_inflight_per_tenant``
+        Per-tenant bound on concurrently active campaigns.  A tenant at its
+        bound does not block *other* tenants' queued arrivals — later
+        entries overtake it, which is the per-tenant fairness guarantee (one
+        tenant's burst cannot monopolise the runner).  Within one tenant,
+        FIFO order is preserved.
+
+    Per-tenant fairness over *evaluation* capacity is the shared pool's job:
+    see ``SharedWorkerPool(tenant_slots=...)``.
+
+    Drive the runner either with :meth:`run_until_complete` (ticks until the
+    admission queue and the active set are empty) or by calling
+    :meth:`tick` yourself between admissions (how the campaign registry
+    embeds it in a long-lived service).
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        max_inflight_per_tenant: Optional[int] = None,
+        batch_surrogate_fits: bool = True,
+        batch_candidate_scoring: bool = True,
+        batch_vae_fits: bool = True,
+        batch_gp_fits: bool = True,
+        run_batcher: Optional[Callable] = None,
+        on_campaign_error: str = "raise",
+    ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_inflight_per_tenant is not None and max_inflight_per_tenant < 1:
+            raise ValueError("max_inflight_per_tenant must be >= 1")
+        self._configure(
+            batch_surrogate_fits=batch_surrogate_fits,
+            batch_candidate_scoring=batch_candidate_scoring,
+            batch_vae_fits=batch_vae_fits,
+            batch_gp_fits=batch_gp_fits,
+            run_batcher=run_batcher,
+            on_campaign_error=on_campaign_error,
+        )
+        self.max_inflight = max_inflight
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        #: Spec indices awaiting admission, in arrival order.
+        self._admission_queue: Deque[int] = deque()
+        #: Spec index → earliest tick at which it may be admitted.
+        self._arrival_tick: Dict[int, int] = {}
+        #: Spec indices admitted so far, in admission order.
+        self.admitted_order: List[int] = []
+
+    # -------------------------------------------------------------- admission
+    def admit(
+        self,
+        spec: CampaignSpec,
+        tenant: Optional[str] = None,
+        arrival_tick: Optional[int] = None,
+    ) -> int:
+        """Register a campaign for admission; returns its result index.
+
+        ``tenant`` overrides the spec's tenant label; ``arrival_tick`` holds
+        the campaign out of admission until the runner has executed that
+        many ticks (modelling an arrival curve — ``None`` means it is
+        admissible immediately).
+        """
+        index = len(self.specs)
+        if tenant is not None:
+            spec.tenant = tenant
+        self.specs.append(spec)
+        while len(self._executions) <= index:
+            self._executions.append(None)
+        self._admission_queue.append(index)
+        self._arrival_tick[index] = (
+            self.num_ticks if arrival_tick is None else int(arrival_tick)
+        )
+        return index
+
+    @property
+    def num_inflight(self) -> int:
+        """Number of campaigns currently advancing in batch ticks."""
+        return len(self._active)
+
+    @property
+    def num_waiting(self) -> int:
+        """Number of admitted-but-not-yet-started campaigns."""
+        return len(self._admission_queue)
+
+    def _tenant_inflight(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for execution in self._active:
+            tenant = self.specs[self._index_of[id(execution)]].tenant
+            counts[tenant] = counts.get(tenant, 0) + 1
+        return counts
+
+    def _admit_due(self) -> None:
+        """Move queued arrivals into the active set under admission control.
+
+        FIFO with per-tenant overtaking: an entry blocked only by its own
+        tenant's bound lets later entries of other tenants pass; an entry
+        blocked by the global ``max_inflight`` blocks everyone behind it
+        (the global limit applies equally, so overtaking could starve the
+        head).
+        """
+        if not self._admission_queue:
+            return
+        inflight = len(self._active)
+        per_tenant = self._tenant_inflight()
+        admitted: List[int] = []
+        remaining: Deque[int] = deque()
+        globally_blocked = False
+        while self._admission_queue:
+            index = self._admission_queue.popleft()
+            if globally_blocked or self._arrival_tick[index] > self.num_ticks:
+                remaining.append(index)
+                continue
+            if self.max_inflight is not None and inflight >= self.max_inflight:
+                remaining.append(index)
+                globally_blocked = True
+                continue
+            tenant = self.specs[index].tenant
+            if (
+                self.max_inflight_per_tenant is not None
+                and per_tenant.get(tenant, 0) >= self.max_inflight_per_tenant
+            ):
+                remaining.append(index)
+                continue
+            admitted.append(index)
+            inflight += 1
+            per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
+        self._admission_queue = remaining
+        if admitted:
+            before = len(self.quarantined)
+            self._start_specs(admitted)
+            failed = {q.index for q in self.quarantined[before:]}
+            self.admitted_order.extend(i for i in admitted if i not in failed)
+            if failed:
+                self.admitted_order.extend(sorted(failed))
+
+    # ------------------------------------------------------------------ drive
+    def tick(self) -> None:
+        """Admit due arrivals, then advance the active set by one batch tick."""
+        self._admit_due()
+        super().tick()
+
+    def run_until_complete(self) -> List[Optional[SearchResult]]:
+        """Tick until the admission queue and the active set are both empty.
+
+        Future-tick arrivals keep the loop alive: empty ticks advance the
+        tick counter until they fall due.  Returns per-spec results in spec
+        order (None only for specs whose start was quarantined).
+        """
+        while self._active or self._admission_queue:
+            self.tick()
+        return self.results()
+
+    def run(self) -> List[SearchResult]:
+        """Alias of :meth:`run_until_complete` (the elastic runner never
+        restarts its specs — admission state is carried, not reset)."""
+        return self.run_until_complete()
+
+    def _begin(self) -> None:  # pragma: no cover - guard against misuse
+        raise RuntimeError(
+            "ElasticCampaignRunner does not restart from its spec list; "
+            "admit campaigns and call tick()/run_until_complete()"
+        )

@@ -34,6 +34,7 @@ __all__ = [
     "service_run_function",
     "make_service_search",
     "make_gp_search",
+    "make_refresh_search",
     "assert_results_identical",
     "make_wide_space",
     "wide_objective",
@@ -84,6 +85,31 @@ def make_gp_search(seed, space=None, **kwargs) -> CBOSearch:
         surrogate="GP",
         num_candidates=32,
         n_initial_points=4,
+        seed=seed,
+    )
+    params.update(kwargs)
+    return CBOSearch(
+        space if space is not None else make_service_space(),
+        service_run_function,
+        **params,
+    )
+
+
+def make_refresh_search(seed, space=None, **kwargs) -> CBOSearch:
+    """A campaign on the continuous-retuning scenario (periodic VAE refresh).
+
+    The third member of the mixed-surrogate family the elastic/runner suites
+    drive: RF-backed like :func:`make_service_search`, but with a periodic
+    prior refresh so the runner's fused VAEFleet path engages.
+    """
+    params = dict(
+        num_workers=6,
+        surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
+        num_candidates=48,
+        n_initial_points=5,
+        prior_refresh_interval=8,
+        prior_refresh_top_k=8,
+        prior_refresh_epochs=12,
         seed=seed,
     )
     params.update(kwargs)

@@ -15,6 +15,7 @@ import pytest
 from fixtures import (
     assert_results_identical as assert_identical,
     make_gp_search,
+    make_refresh_search,
     make_service_search as make_search,
     make_service_space as make_space,
     service_run_function as run_function,
@@ -206,22 +207,6 @@ class TestHeterogeneousFleets:
         batched = CampaignRunner(specs).run()
         for a, b in zip(sequential, batched):
             assert_identical(a, b)
-
-
-def make_refresh_search(seed, space, **kwargs):
-    """A campaign on the continuous-retuning scenario (periodic VAE refresh)."""
-    params = dict(
-        num_workers=6,
-        surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
-        num_candidates=48,
-        n_initial_points=5,
-        prior_refresh_interval=8,
-        prior_refresh_top_k=8,
-        prior_refresh_epochs=12,
-        seed=seed,
-    )
-    params.update(kwargs)
-    return CBOSearch(space, run_function, **params)
 
 
 def make_source_history(space, n=60, seed=123):
