@@ -44,7 +44,7 @@ from repro.core.acquisition import DEFAULT_KAPPA, UCBAcquisition
 from repro.core.arrays import grow_buffer
 from repro.core.liar import ConstantLiar
 from repro.core.objective import Objective
-from repro.core.priors import IndependentPrior, JointPrior
+from repro.core.priors import IndependentPrior, JointPrior, sample_columns_fleet
 from repro.core.space import (
     CategoricalParameter,
     ColumnBatch,
@@ -59,7 +59,7 @@ from repro.core.surrogate import (
     Surrogate,
 )
 
-__all__ = ["BayesianOptimizer", "PreparedAsk", "make_surrogate"]
+__all__ = ["BayesianOptimizer", "PreparedAsk", "make_surrogate", "prepare_ask_fleet"]
 
 
 @dataclass
@@ -519,3 +519,133 @@ class BayesianOptimizer:
             for j, p in enumerate(self.space.parameters)
             if isinstance(p, CategoricalParameter)
         ]
+
+
+def _share_stacked_indices(
+    stacked: ColumnBatch, members: Sequence[ColumnBatch]
+) -> None:
+    """Slice the stacked batch's memoised discrete indices into its members.
+
+    Domain indices are exact integers, so a slice of the stacked index column
+    equals the member-computed column bitwise; seeding the member caches lets
+    ``take``/re-encoding reuse the fleet pass instead of recomputing.
+    """
+    offset = 0
+    for member in members:
+        stop = offset + len(member)
+        for name, arr in stacked._indices.items():
+            member._indices.setdefault(name, arr[offset:stop])
+        offset = stop
+
+
+def prepare_ask_fleet(
+    requests: Sequence[Tuple[BayesianOptimizer, int]],
+) -> List[PreparedAsk]:
+    """One stacked candidate-proposal pass over several optimizers (fleet ask).
+
+    ``requests`` pairs each member optimizer with the number of proposals it
+    wants.  All members must tune equal search spaces (same parameters, same
+    order) and share one encoding — the runner groups them that way via
+    :func:`~repro.service.grouping.plan_tick_groups`.
+
+    Per member the result is **bitwise identical** to
+    ``member.prepare_ask(n)``:
+
+    * every random draw comes from the member's own generator in the member's
+      own order — candidate columns are assembled parameter-major across the
+      fleet for plain independent priors and member-major otherwise
+      (:func:`~repro.core.priors.sample_columns_fleet`), and the
+      ``_sample_unique`` draws of the initialisation and shortfall paths stay
+      per member;
+    * the space codecs (``key_array``, the numeric/one-hot encodings,
+      ``to_unit_array``) are row-local, so encoding one stacked sheet and
+      slicing per member reproduces each member's solo bits;
+    * dedup tests each member's slice against that member's own evaluated
+      keys, in the member's candidate order.
+
+    The stacked sheets are encode-only (:meth:`ColumnBatch.concat`):
+    materialisation (``take``, ``to_configurations``) goes through each
+    member's own columns, so cross-member dtype promotion cannot leak into
+    proposed configurations.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    rep, _ = requests[0]
+    space = rep.space
+    for opt, n in requests:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if opt.space is not space and opt.space != space:
+            raise ValueError("fleet asks require members over equal search spaces")
+        if opt.encoding != rep.encoding:
+            raise ValueError("fleet asks require members sharing one encoding")
+
+    prepared: List[Optional[PreparedAsk]] = [None] * len(requests)
+    model_members: List[int] = []
+    for i, (opt, n) in enumerate(requests):
+        use_model = (
+            not opt.random_sampling
+            and opt.surrogate.fitted
+            and opt.num_observations >= opt.n_initial_points
+        )
+        if use_model:
+            model_members.append(i)
+        else:
+            prepared[i] = PreparedAsk(n=n, proposals=opt._sample_unique(n))
+    if not model_members:
+        return prepared
+
+    # One stacked candidate sheet: per-member draws, fleet-assembled.
+    column_dicts = sample_columns_fleet(
+        [requests[i][0].prior for i in model_members],
+        [requests[i][0].num_candidates for i in model_members],
+        [requests[i][0].rng for i in model_members],
+    )
+    cand_batches = [
+        ColumnBatch(requests[i][0].space, cols)
+        for i, cols in zip(model_members, column_dicts)
+    ]
+    stacked = ColumnBatch.concat(cand_batches)
+    keys = [row.tobytes() for row in space.key_array(stacked)]
+    _share_stacked_indices(stacked, cand_batches)
+
+    # Fused dedup: each member's key slice against its own evaluated set.
+    fresh_parts: List[Tuple[int, ColumnBatch, Optional[List[Configuration]]]] = []
+    offset = 0
+    for i, candidates in zip(model_members, cand_batches):
+        opt, n = requests[i]
+        member_keys = keys[offset : offset + len(candidates)]
+        offset += len(candidates)
+        evaluated = opt._evaluated_keys
+        fresh_idx = np.fromiter(
+            (j for j, key in enumerate(member_keys) if key not in evaluated),
+            dtype=np.intp,
+        )
+        fresh_configs: Optional[List[Configuration]] = None
+        if fresh_idx.shape[0] < n:
+            fresh_configs = candidates.take(fresh_idx).to_configurations()
+            fresh_configs.extend(opt._sample_unique(n - len(fresh_configs)))
+            fresh: ConfigsLike = ColumnBatch.from_configurations(opt.space, fresh_configs)
+        else:
+            fresh = candidates.take(fresh_idx)
+        fresh_parts.append((i, fresh, fresh_configs))
+
+    # One shared encode of the stacked fresh sheet, sliced back per member.
+    stacked_fresh = ColumnBatch.concat([fresh for _, fresh, _ in fresh_parts])
+    encoded_all = rep._encode(stacked_fresh)
+    unit_all = space.to_unit_array(stacked_fresh)
+    offset = 0
+    for i, fresh, fresh_configs in fresh_parts:
+        opt, n = requests[i]
+        stop = offset + len(fresh)
+        prepared[i] = PreparedAsk(
+            n=n,
+            fresh=fresh,
+            fresh_configs=fresh_configs,
+            encoded=encoded_all[offset:stop],
+            unit=unit_all[offset:stop],
+            wants_scores=opt.liar.strategy != "refit",
+        )
+        offset = stop
+    return prepared

@@ -49,6 +49,7 @@ __all__ = [
     "IndependentPrior",
     "MixturePrior",
     "default_prior",
+    "sample_columns_fleet",
 ]
 
 
@@ -271,6 +272,48 @@ def _concat_shuffle_columns(
             column = np.concatenate(pieces)
         out[p.name] = column[permutation]
     return out
+
+
+def sample_columns_fleet(
+    priors: Sequence[JointPrior],
+    counts: Sequence[int],
+    rngs: Sequence[np.random.Generator],
+) -> List[Dict[str, np.ndarray]]:
+    """Draw each member's candidate columns for one stacked fleet sheet.
+
+    ``priors[k]``, ``counts[k]`` and ``rngs[k]`` describe fleet member ``k``:
+    its joint prior, how many candidates it wants, and its own generator.
+    All members must cover equal search spaces (same parameters in the same
+    order); the caller is expected to have grouped them that way.
+
+    Per member the returned columns are **bitwise identical** to
+    ``priors[k].sample_columns(counts[k], rngs[k])``.  Members whose prior is
+    exactly :class:`IndependentPrior` are assembled parameter-major — one
+    pass per parameter across the fleet — which keeps each member's draw
+    order (p1, p2, ... in space order) unchanged; only the interleaving
+    *between* members differs, and members own independent generators, so
+    nothing observable moves.  Members with any other joint prior (mixtures,
+    transfer-learning priors) fall back to one member-major
+    ``sample_columns`` call each, which is trivially identical.
+    """
+    if not (len(priors) == len(counts) == len(rngs)):
+        raise ValueError("priors, counts and rngs must have equal lengths")
+    independent = [type(prior) is IndependentPrior for prior in priors]
+    results: List[Dict[str, np.ndarray]] = []
+    for k, prior in enumerate(priors):
+        if independent[k]:
+            results.append({})
+        else:
+            results.append(prior.sample_columns(counts[k], rngs[k]))
+    if any(independent):
+        first = priors[independent.index(True)]
+        for p in first.space:
+            name = p.name
+            for k, prior in enumerate(priors):
+                if independent[k]:
+                    n = counts[k] if counts[k] > 0 else 0
+                    results[k][name] = prior.prior_for(name).sample_array(n, rngs[k])
+    return results
 
 
 def default_prior(parameter: Parameter) -> ParameterPrior:

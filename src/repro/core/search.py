@@ -41,7 +41,11 @@ from repro.core.overhead import make_overhead_model
 from repro.core.priors import JointPrior
 from repro.core.space import Configuration, SearchSpace
 from repro.core.surrogate.base import Surrogate
-from repro.core.transfer import TransferLearningPrior, fit_transfer_prior
+from repro.core.transfer import (
+    PreparedTransferFit,
+    TransferLearningPrior,
+    prepare_transfer_prior,
+)
 from repro.core.vae.transforms import TabularTransform
 from repro.core.vae.tvae import TabularVAE
 
@@ -227,6 +231,26 @@ class CBOSearch:
         self.prior_refresh_uniform_fraction = float(prior_refresh_uniform_fraction)
         self.seed = int(seed)
 
+    #: A transfer-VAE fit deferred at construction time (see
+    #: :class:`VAEABOSearch` ``defer_transfer_fit``); ``None`` for plain
+    #: searches and once the fit has run.  Fleet drivers fuse the pending
+    #: fits of several searches through one VAEFleet pass before starting
+    #: them; :meth:`complete_pending_transfer_fit` is the solo backstop.
+    pending_transfer_fit: Optional["PreparedTransferFit"] = None
+
+    def complete_pending_transfer_fit(self) -> None:
+        """Train a still-pending transfer VAE solo (bit-identical backstop).
+
+        Called when an execution starts, *before* the prior's first sample —
+        an untrained VAE would otherwise silently fall back to top-batch
+        resampling.  No-op when nothing is pending or a fleet pass already
+        trained the VAE.
+        """
+        pending = self.pending_transfer_fit
+        if pending is not None:
+            pending.train()
+            self.pending_transfer_fit = None
+
     # --------------------------------------------------------------------- run
     def run(
         self,
@@ -406,6 +430,10 @@ class CampaignExecution:
         if max_time <= 0:
             raise ValueError("max_time must be positive")
         self.search = search
+        # A transfer-VAE fit deferred at construction time must complete
+        # before the prior's first sample (initial ask below, or the first
+        # prepared ask of a resumed run).
+        search.complete_pending_transfer_fit()
         self.optimizer = search.optimizer
         self.max_time = float(max_time)
         self.max_evaluations = max_evaluations
@@ -679,7 +707,24 @@ class CampaignExecution:
         :class:`~repro.core.optimizer.PreparedAsk` (``None`` when no workers
         are idle or the budget ran out).  Drivers that fuse candidate scoring
         across campaigns score the prepared pool externally and hand the
-        results to :meth:`finish_ask`.
+        results to :meth:`finish_ask`; drivers that also fuse candidate
+        *generation* (the fleet ask) split this method into
+        :meth:`begin_ask_request` and :meth:`complete_ask` /
+        :meth:`accept_prepared_ask` instead.
+        """
+        n = self.begin_ask_request()
+        if n is None:
+            return None
+        return self.complete_ask(n)
+
+    def begin_ask_request(self) -> Optional[int]:
+        """The eligibility half of :meth:`begin_ask`: how many proposals?
+
+        Clears any pending batch/pool, applies the budget check, and returns
+        the number of idle workers to propose for — ``None`` when the budget
+        ran out or no workers are idle.  Fleet drivers group the non-``None``
+        requests by search space and run one
+        :func:`~repro.core.optimizer.prepare_ask_fleet` pass per group.
         """
         self._pending_batch = None
         self._prepared_ask = None
@@ -689,10 +734,27 @@ class CampaignExecution:
             return None
         num_idle = evaluator.num_idle
         if num_idle > 0:
-            start = time.perf_counter()
-            self._prepared_ask = self.optimizer.prepare_ask(num_idle)
-            self._ask_elapsed = time.perf_counter() - start
+            return num_idle
+        return None
+
+    def complete_ask(self, n: int) -> "object":
+        """The solo generation half of :meth:`begin_ask`: prepare ``n``."""
+        start = time.perf_counter()
+        self._prepared_ask = self.optimizer.prepare_ask(n)
+        self._ask_elapsed = time.perf_counter() - start
         return self._prepared_ask
+
+    def accept_prepared_ask(self, prepared: "object") -> "object":
+        """Install a pool generated externally by a fleet-ask pass.
+
+        The fused pass's wall-clock is shared across campaigns and not
+        attributed to any one member, so ``_ask_elapsed`` is zeroed — the
+        same ``overhead="measured"`` carve-out the fused scoring path
+        documents in :meth:`finish_ask`.  Virtual search time is unaffected.
+        """
+        self._prepared_ask = prepared
+        self._ask_elapsed = 0.0
+        return prepared
 
     def finish_ask(self, mean=None, std=None) -> Optional[List[Configuration]]:
         """Select the proposal batch (scoring it here unless scores are given)
@@ -1013,6 +1075,14 @@ class VAEABOSearch(CBOSearch):
     uniform_fraction:
         Fraction of candidate samples still drawn from the uninformative prior
         so the biased search keeps non-zero support over the whole space.
+    defer_transfer_fit:
+        If True, the transfer VAE is constructed but not trained here; the
+        pending fit is exposed as :attr:`pending_transfer_fit` so a fleet
+        driver can fuse several searches' initial VAE fits into one
+        :class:`~repro.core.vae.tvae.VAEFleet` pass (bit-identical per
+        member).  Any fit still pending when the search starts is completed
+        solo before the first sample, so a deferred-but-never-fused search
+        is bitwise identical to an eager one.
     """
 
     def __init__(
@@ -1024,13 +1094,15 @@ class VAEABOSearch(CBOSearch):
         vae_epochs: int = 300,
         vae_latent_dim: int = 8,
         uniform_fraction: float = 0.05,
+        defer_transfer_fit: bool = False,
         **kwargs,
     ):
         prior = kwargs.pop("prior", None)
         seed = kwargs.get("seed", 0)
         self.transfer_prior: Optional[TransferLearningPrior] = None
+        pending: Optional[PreparedTransferFit] = None
         if source_history is not None and prior is None:
-            self.transfer_prior = fit_transfer_prior(
+            self.transfer_prior, pending = prepare_transfer_prior(
                 source_history,
                 space,
                 quantile=quantile,
@@ -1040,4 +1112,8 @@ class VAEABOSearch(CBOSearch):
                 seed=seed,
             )
             prior = self.transfer_prior
+            if pending is not None and not defer_transfer_fit:
+                pending.train()
+                pending = None
         super().__init__(space, run_function, prior=prior, **kwargs)
+        self.pending_transfer_fit = pending

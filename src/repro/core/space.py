@@ -631,6 +631,46 @@ class ColumnBatch:
 
     # ------------------------------------------------------------ constructors
     @classmethod
+    def concat(cls, batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Stack batches over equal spaces into one **encode-only** batch.
+
+        The columnar codecs (:meth:`SearchSpace.key_array`,
+        :meth:`SearchSpace.to_unit_array` and the numeric/one-hot encodings)
+        are row-local — each output row depends only on its input row — so
+        encoding the concatenation and slicing the result per member is
+        bitwise equal to encoding each batch alone.  That property is what
+        every stacked fleet pass rests on.  Memoised discrete-index columns
+        cached by *all* inputs are concatenated rather than recomputed.
+
+        The result is for encoding only: ``np.concatenate`` may promote
+        numeric columns across members (int64 + float64 → float64), which is
+        harmless for the float codecs but would change the value types that
+        ``to_configurations`` materialises — keep ``take``/materialisation on
+        the member batches, not on the stack.
+        """
+        batches = list(batches)
+        if not batches:
+            raise ValueError("concat needs at least one batch")
+        if len(batches) == 1:
+            return batches[0]
+        space = batches[0].space
+        for batch in batches[1:]:
+            if batch.space is not space and batch.space != space:
+                raise ValueError("all batches must share one search space")
+        columns: Dict[str, np.ndarray] = {}
+        for p in space:
+            pieces = [batch._columns[p.name] for batch in batches]
+            if any(piece.dtype == object for piece in pieces):
+                pieces = [piece.astype(object) for piece in pieces]
+            columns[p.name] = np.concatenate(pieces)
+        stacked = cls._trusted(space, columns, sum(b._n for b in batches))
+        for name in set.intersection(*(set(b._indices) for b in batches)):
+            stacked._indices[name] = np.concatenate(
+                [batch._indices[name] for batch in batches]
+            )
+        return stacked
+
+    @classmethod
     def from_configurations(
         cls, space: "SearchSpace", configs: Sequence[Mapping[str, Any]]
     ) -> "ColumnBatch":

@@ -190,6 +190,13 @@ class GaussianProcessSurrogate(Surrogate):
         triggered whenever the training set has grown by this factor since the
         last full fit.  Between refreshes hyperparameters are frozen, which is
         what makes the rank-1 update exact.
+    hyperparameter_grid:
+        The (noise, signal-variance) combinations the marginal-likelihood
+        refinement scans, in scan order; defaults to the module-wide grid.
+        The grid participates in :func:`gp_fleet_key`, so members with
+        different grids never share a fused full refit — a fused scan runs
+        one grid for the whole stack and would silently impose the wrong
+        grid on a disagreeing member.
     """
 
     def __init__(
@@ -200,6 +207,7 @@ class GaussianProcessSurrogate(Surrogate):
         normalize_y: bool = True,
         incremental: bool = True,
         refresh_growth: float = 1.25,
+        hyperparameter_grid: Optional[Sequence[Tuple[float, float]]] = None,
     ):
         if noise <= 0:
             raise ValueError("noise must be positive")
@@ -207,6 +215,15 @@ class GaussianProcessSurrogate(Surrogate):
             raise ValueError("length_scale must be positive")
         if refresh_growth <= 1.0:
             raise ValueError("refresh_growth must be > 1")
+        if hyperparameter_grid is None:
+            self.hyperparameter_grid: Tuple[Tuple[float, float], ...] = _HYPERPARAMETER_GRID
+        else:
+            self.hyperparameter_grid = tuple(
+                (float(g_noise), float(g_signal))
+                for g_noise, g_signal in hyperparameter_grid
+            )
+            if not self.hyperparameter_grid:
+                raise ValueError("hyperparameter_grid must not be empty")
         self.noise = float(noise)
         self.length_scale = float(length_scale)
         self.auto_hyperparameters = bool(auto_hyperparameters)
@@ -483,7 +500,7 @@ class GaussianProcessSurrogate(Surrogate):
         best = (self.noise, 1.0)
         best_lml = -np.inf
         diag = np.arange(E.shape[0])
-        for noise, signal in _HYPERPARAMETER_GRID:
+        for noise, signal in self.hyperparameter_grid:
             K = signal * E
             K[diag, diag] += noise
             try:
@@ -537,6 +554,13 @@ def gp_fleet_key(
     A member whose cached factor does not cover exactly the already-fitted
     rows (``model._n != num_rows - num_new``) gets a per-model singleton key:
     only the solo path reproduces whatever that state would do.
+
+    Full refits that would run the marginal-likelihood refinement also key
+    on the member's ``hyperparameter_grid``: the fused scan runs one grid
+    over the whole kernel stack, so members that disagree on the grid must
+    group apart (and thence fall back to solo fits when singleton) rather
+    than have a sibling's grid silently imposed on them.  Extensions keep
+    hyperparameters frozen and need no grid in their key.
     """
     num_old = num_rows - num_new
     if model.supports_partial_fit and model.fitted and 0 < num_old < num_rows:
@@ -549,6 +573,8 @@ def gp_fleet_key(
             return ("solo", id(model))
         if model.partial_fit_plan(num_rows) == "extend":
             return ("extend", num_features, num_new)
+    if model.auto_hyperparameters and num_rows >= 8:
+        return ("full", num_features, num_rows, model.hyperparameter_grid)
     return ("full", num_features, num_rows)
 
 
@@ -647,11 +673,21 @@ class GPFleet:
             if member.auto_hyperparameters and n >= 8
         ]
         if refine:
+            grids = {members[k].hyperparameter_grid for k in refine}
+            if len(grids) != 1:
+                # One grid drives the whole fused scan; imposing it on a
+                # member that configured a different one would silently
+                # change that member's selection.  gp_fleet_key keys full
+                # refits on the grid, so a grouped driver never gets here.
+                raise ValueError(
+                    "fleet full fits require refining members to share one "
+                    "hyperparameter grid; group with gp_fleet_key"
+                )
             # Avoid a full-stack copy in the common all-members-refine case.
             E_refine = E if len(refine) == len(members) else E[refine]
             best = {k: (members[k].noise, 1.0) for k in refine}
             best_lml = {k: -np.inf for k in refine}
-            for noise, signal in _HYPERPARAMETER_GRID:
+            for noise, signal in next(iter(grids)):
                 K_stack = signal * E_refine
                 K_stack[:, diag, diag] += noise
                 # Indefinite combinations are skipped per member, exactly

@@ -21,7 +21,8 @@ consistent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,7 +38,12 @@ from repro.core.space import (
 from repro.core.vae.transforms import TabularTransform
 from repro.core.vae.tvae import TabularVAE
 
-__all__ = ["TransferLearningPrior", "fit_transfer_prior"]
+__all__ = [
+    "PreparedTransferFit",
+    "TransferLearningPrior",
+    "fit_transfer_prior",
+    "prepare_transfer_prior",
+]
 
 
 class TransferLearningPrior(JointPrior):
@@ -165,7 +171,34 @@ class TransferLearningPrior(JointPrior):
         )
 
 
-def fit_transfer_prior(
+@dataclass
+class PreparedTransferFit:
+    """A constructed-but-untrained transfer VAE, awaiting its (fleet) fit.
+
+    :func:`prepare_transfer_prior` returns one of these when the selected
+    top set is large enough for a VAE.  ``train()`` runs the exact solo fit
+    (same design matrix, epochs and batch size :func:`fit_transfer_prior`
+    would have used — the VAE owns its seeded RNG, so a deferred fit is
+    bitwise identical to an eager one); fleet drivers instead hand several
+    members' ``vae``/``design`` pairs to one
+    :class:`~repro.core.vae.tvae.VAEFleet` pass, which is likewise
+    bit-identical per member.  The fit **must** complete before the prior's
+    first sample: :class:`TransferLearningPrior` silently falls back to
+    top-batch resampling while ``vae.fitted`` is False.
+    """
+
+    vae: TabularVAE
+    design: np.ndarray
+    epochs: int
+    batch_size: int
+
+    def train(self) -> None:
+        """Run the deferred solo fit (no-op once the VAE is fitted)."""
+        if not self.vae.fitted:
+            self.vae.fit(self.design, epochs=self.epochs, batch_size=self.batch_size)
+
+
+def prepare_transfer_prior(
     source_history: SearchHistory,
     target_space: SearchSpace,
     quantile: float = 0.10,
@@ -175,27 +208,15 @@ def fit_transfer_prior(
     uniform_fraction: float = 0.05,
     min_configurations_for_vae: int = 8,
     seed: int = 0,
-) -> TransferLearningPrior:
-    """Build the informative prior of Algorithm 1 from a previous history.
+) -> Tuple[TransferLearningPrior, Optional[PreparedTransferFit]]:
+    """:func:`fit_transfer_prior` minus the VAE training pass.
 
-    Parameters
-    ----------
-    source_history:
-        History ``H_p`` of the previous autotuning run.
-    target_space:
-        Parameter space ``D_c`` of the current run (may differ from the
-        previous space).
-    quantile:
-        Top fraction ``q`` of configurations used to train the VAE.
-    epochs, latent_dim, hidden:
-        VAE training budget and architecture.
-    uniform_fraction:
-        Fraction of prior samples drawn uniformly (exploration safeguard).
-    min_configurations_for_vae:
-        Below this number of selected configurations the VAE is skipped and
-        the prior resamples the selected configurations directly.
-    seed:
-        Seed for VAE initialisation and training.
+    Returns the prior plus the pending fit (``None`` when the top set is too
+    small for a VAE).  Everything up to and including VAE *construction* is
+    identical to the eager path; only ``vae.fit`` is deferred, so training
+    the pending fit — solo via :meth:`PreparedTransferFit.train` or fused
+    through a :class:`~repro.core.vae.tvae.VAEFleet` — yields a prior
+    bitwise identical to :func:`fit_transfer_prior`'s.
     """
     source_space = source_history.space
     shared_names = [p.name for p in target_space if p.name in source_space]
@@ -239,6 +260,7 @@ def fit_transfer_prior(
         top_shared = top_batch.to_configurations()
 
     vae: Optional[TabularVAE] = None
+    pending: Optional[PreparedTransferFit] = None
     if len(top_batch) >= min_configurations_for_vae:
         X = transform.encode_columns(top_batch)
         vae = TabularVAE(
@@ -249,9 +271,14 @@ def fit_transfer_prior(
             hidden=hidden,
             seed=seed,
         )
-        vae.fit(X, epochs=epochs, batch_size=min(64, max(4, len(top_batch))))
+        pending = PreparedTransferFit(
+            vae=vae,
+            design=X,
+            epochs=epochs,
+            batch_size=min(64, max(4, len(top_batch))),
+        )
 
-    return TransferLearningPrior(
+    prior = TransferLearningPrior(
         space=target_space,
         vae=vae,
         transform=transform,
@@ -260,3 +287,52 @@ def fit_transfer_prior(
         top_configurations=top_shared,
         top_batch=top_batch,
     )
+    return prior, pending
+
+
+def fit_transfer_prior(
+    source_history: SearchHistory,
+    target_space: SearchSpace,
+    quantile: float = 0.10,
+    epochs: int = 300,
+    latent_dim: int = 8,
+    hidden=(64, 64),
+    uniform_fraction: float = 0.05,
+    min_configurations_for_vae: int = 8,
+    seed: int = 0,
+) -> TransferLearningPrior:
+    """Build the informative prior of Algorithm 1 from a previous history.
+
+    Parameters
+    ----------
+    source_history:
+        History ``H_p`` of the previous autotuning run.
+    target_space:
+        Parameter space ``D_c`` of the current run (may differ from the
+        previous space).
+    quantile:
+        Top fraction ``q`` of configurations used to train the VAE.
+    epochs, latent_dim, hidden:
+        VAE training budget and architecture.
+    uniform_fraction:
+        Fraction of prior samples drawn uniformly (exploration safeguard).
+    min_configurations_for_vae:
+        Below this number of selected configurations the VAE is skipped and
+        the prior resamples the selected configurations directly.
+    seed:
+        Seed for VAE initialisation and training.
+    """
+    prior, pending = prepare_transfer_prior(
+        source_history,
+        target_space,
+        quantile=quantile,
+        epochs=epochs,
+        latent_dim=latent_dim,
+        hidden=hidden,
+        uniform_fraction=uniform_fraction,
+        min_configurations_for_vae=min_configurations_for_vae,
+        seed=seed,
+    )
+    if pending is not None:
+        pending.train()
+    return prior

@@ -26,7 +26,18 @@ lock-step *batch ticks* over their virtual-time evaluators:
    seeded with a :class:`~repro.core.transfer.TransferLearningPrior`) whose
    VAE refit falls due this tick train them as one fused
    :class:`~repro.core.vae.tvae.VAEFleet` pass per compatible group;
-4. **ask** — every campaign proposes for its idle workers and submits.
+4. **ask** — the fleet ask: the tick's due asks are grouped by search
+   space and encoding (``batch_asks``) and each group's candidate
+   generation runs as one stacked
+   :func:`~repro.core.optimizer.prepare_ask_fleet` pass — one fused prior
+   sample, one shared encoding, one fused dedup sweep — before the
+   already-fused posterior scoring and submission.
+
+Campaign fleets built from transfer-learning searches constructed with
+``VAEABOSearch(defer_transfer_fit=True)`` additionally get their initial
+``fit_transfer_prior`` VAE fits fused into
+:class:`~repro.core.vae.tvae.VAEFleet` passes when the runner starts them
+(``batch_vae_fits``), instead of paying K solo VAE trainings up front.
 
 Because each campaign's operations run in exactly the order the sequential
 loop would run them, and the fleet fit is bit-identical per forest, the
@@ -65,6 +76,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.journal import CampaignJournal
+from repro.core.optimizer import prepare_ask_fleet
 from repro.core.search import CampaignExecution, CBOSearch, SearchResult
 from repro.core.space import Configuration
 from repro.core.surrogate.gaussian_process import (
@@ -179,8 +191,20 @@ class CampaignRunner:
         (campaigns running the continuous-retuning scenario,
         ``CBOSearch(prior_refresh_interval=...)``) into a single
         :class:`~repro.core.vae.tvae.VAEFleet` training pass per compatible
-        group (default).  Bit-identical per campaign to refitting each VAE
-        on its own; ``False`` keeps the per-campaign refits.
+        group (default), and likewise the construction-time transfer-prior
+        VAE fits of searches built with
+        ``VAEABOSearch(defer_transfer_fit=True)`` when their campaigns
+        start.  Bit-identical per campaign to refitting each VAE on its
+        own; ``False`` keeps the per-campaign fits.
+    batch_asks:
+        The fleet ask (default): group each tick's due asks by search space
+        and encoding (:func:`~repro.service.grouping.plan_tick_groups`) and
+        run each fused group's candidate generation as one stacked
+        :func:`~repro.core.optimizer.prepare_ask_fleet` pass — one fused
+        prior sample, one shared ``to_unit_array``/one-hot encoding, one
+        fused dedup sweep against each member's own evaluated keys.
+        Bit-identical per campaign (each member's RNG draws keep their solo
+        order); ``False`` is the escape hatch that prepares every ask solo.
     run_batcher:
         Optional service-style evaluation batcher: a callable receiving the
         tick's submissions as ``[(spec_index, configurations), ...]`` and
@@ -212,6 +236,7 @@ class CampaignRunner:
         batch_candidate_scoring: bool = True,
         batch_vae_fits: bool = True,
         batch_gp_fits: bool = True,
+        batch_asks: bool = True,
         run_batcher: Optional[Callable] = None,
         on_campaign_error: str = "raise",
     ):
@@ -222,6 +247,7 @@ class CampaignRunner:
             batch_candidate_scoring=batch_candidate_scoring,
             batch_vae_fits=batch_vae_fits,
             batch_gp_fits=batch_gp_fits,
+            batch_asks=batch_asks,
             run_batcher=run_batcher,
             on_campaign_error=on_campaign_error,
         )
@@ -233,6 +259,7 @@ class CampaignRunner:
         batch_candidate_scoring: bool,
         batch_vae_fits: bool,
         batch_gp_fits: bool,
+        batch_asks: bool,
         run_batcher: Optional[Callable],
         on_campaign_error: str,
     ) -> None:
@@ -247,6 +274,7 @@ class CampaignRunner:
         self.batch_candidate_scoring = bool(batch_candidate_scoring)
         self.batch_vae_fits = bool(batch_vae_fits)
         self.batch_gp_fits = bool(batch_gp_fits)
+        self.batch_asks = bool(batch_asks)
         self.run_batcher = run_batcher
         self.on_campaign_error = on_campaign_error
         #: Campaigns isolated by quarantine mode during the last :meth:`run`.
@@ -277,6 +305,14 @@ class CampaignRunner:
         self.num_prior_refreshes = 0
         self.num_vae_fleet_fits = 0
         self.num_vae_fleet_members = 0
+        #: Fleet-ask counters: stacked prepare_ask_fleet passes and
+        #: campaigns whose candidate generation ran through them.
+        self.num_ask_fleet_passes = 0
+        self.num_ask_fleet_members = 0
+        #: Construction-time transfer-VAE counters: fused VAEFleet passes
+        #: over deferred fit_transfer_prior fits and members trained so.
+        self.num_transfer_fleet_fits = 0
+        self.num_transfer_fleet_members = 0
         #: Solo surrogate fits a tick ran because no fused group formed —
         #: together with the fleet counters this yields the fusion hit rate.
         self.num_solo_fits = 0
@@ -350,6 +386,8 @@ class CampaignRunner:
         start itself raises is recorded with phase ``"start"`` instead of
         aborting the batch.
         """
+        if self.batch_vae_fits:
+            self._fit_transfer_fleet(indices)
         batching_runs = self.run_batcher is not None
         started: List[Tuple[int, CampaignExecution]] = []
         for index in indices:
@@ -394,6 +432,59 @@ class CampaignRunner:
                 runtimes = self._run_batch(initial)
                 for (index, _), values in zip(initial, runtimes):
                     self._executions[index].submit_prepared(values)
+
+    def _fit_transfer_fleet(self, indices: Sequence[int]) -> None:
+        """Fuse the deferred construction-time transfer-VAE fits of a fleet.
+
+        Searches built with ``VAEABOSearch(defer_transfer_fit=True)`` carry
+        their untrained transfer VAE as
+        :attr:`~repro.core.search.CBOSearch.pending_transfer_fit`; groups of
+        compatible fits (same architecture, design shape and training
+        budget — :func:`~repro.core.vae.tvae.vae_fleet_key`) train as one
+        :class:`~repro.core.vae.tvae.VAEFleet` pass before their campaigns
+        start, bit-identical per member to the eager solo fit.  Singletons
+        and leftover members are trained by the solo backstop inside
+        ``CampaignExecution.__init__``
+        (:meth:`~repro.core.search.CBOSearch.complete_pending_transfer_fit`).
+        A fused pass that fails under quarantine leaves its members to that
+        same backstop.  The retry is a *valid* prior fit, not necessarily
+        the eager-path bits: a pass that dies mid-training has already
+        consumed member RNG draws (the same honest caveat as the fused
+        prior-refresh fallback in :meth:`_refresh_priors`).
+        """
+        pending: List[Tuple[CBOSearch, object]] = []
+        for index in indices:
+            search = self.specs[index].search
+            fit = getattr(search, "pending_transfer_fit", None)
+            if fit is not None:
+                pending.append((search, fit))
+        for group in plan_tick_groups(
+            pending,
+            key_of=lambda pair: vae_fleet_key(
+                pair[1].vae,
+                pair[1].design.shape[0],
+                pair[1].epochs,
+                pair[1].batch_size,
+            ),
+            identity_of=lambda pair: id(pair[1].vae),
+        ):
+            if not group.fused:
+                continue
+            first = group.members[0][1]
+            try:
+                VAEFleet([fit.vae for _, fit in group.members]).fit(
+                    [fit.design for _, fit in group.members],
+                    epochs=first.epochs,
+                    batch_size=first.batch_size,
+                )
+            except Exception:
+                if self.on_campaign_error != "quarantine":
+                    raise
+                continue
+            self.num_transfer_fleet_fits += 1
+            self.num_transfer_fleet_members += len(group.members)
+            for search, _ in group.members:
+                search.pending_transfer_fit = None
 
     def tick(self) -> None:
         """Advance every active campaign by one batch tick.
@@ -449,12 +540,15 @@ class CampaignRunner:
         self._refresh_priors(self._surviving(ticking))
         ticking = self._surviving(ticking)
 
-        # ---- ask: candidate generation per campaign, fused scoring
-        pairs = []
-        for execution in ticking:
-            prepared = self._step(execution, "ask", execution.begin_ask)
-            if prepared is not _FAILED:
-                pairs.append((execution, prepared))
+        # ---- ask: fused candidate generation (the fleet ask), fused scoring
+        if self.batch_asks:
+            pairs = self._begin_asks_fleet(ticking)
+        else:
+            pairs = []
+            for execution in ticking:
+                prepared = self._step(execution, "ask", execution.begin_ask)
+                if prepared is not _FAILED:
+                    pairs.append((execution, prepared))
         scored: Dict[int, Tuple] = {}
         if self.batch_candidate_scoring:
             fused = [
@@ -513,6 +607,83 @@ class CampaignRunner:
             execution
             for execution in self._surviving(ticking)
             if not execution.finished
+        ]
+
+    # --------------------------------------------------------------- fleet ask
+    def _begin_asks_fleet(self, ticking: List[CampaignExecution]) -> List[Tuple]:
+        """Run the tick's due asks as stacked per-space fleet passes.
+
+        Each campaign's eligibility half
+        (:meth:`~repro.core.search.CampaignExecution.begin_ask_request` —
+        budget check, idle-worker count) runs first in tick order; the
+        askable campaigns are then grouped by search space and encoding
+        (:func:`~repro.service.grouping.plan_tick_groups` — groups re-form
+        every tick, so elastic join/leave just changes the next tick's
+        plan) and each fused group's candidate generation runs as one
+        :func:`~repro.core.optimizer.prepare_ask_fleet` pass.  Singleton
+        groups and shared-optimizer degeneracies complete solo — the fleet
+        of one *is* the solo path.  Bit-identical per campaign either way;
+        returned pairs keep tick order so downstream submission order is
+        unchanged.
+
+        A fused pass that fails under quarantine falls back to solo
+        ``complete_ask`` calls; like every fused-fallback in this runner the
+        retry is a *valid* ask, not necessarily the solo-path bits — the
+        failed pass may already have consumed member RNG draws.
+        """
+        prepared_of: Dict[int, object] = {}
+        askable: List[Tuple[CampaignExecution, int]] = []
+        for execution in ticking:
+            n = self._step(execution, "ask", execution.begin_ask_request)
+            if n is _FAILED:
+                continue
+            if n is None:
+                prepared_of[id(execution)] = None
+            else:
+                askable.append((execution, n))
+
+        def solo(members: Sequence[Tuple[CampaignExecution, int]]) -> None:
+            for execution, n in members:
+                prepared = self._step(
+                    execution, "ask", lambda e=execution, m=n: e.complete_ask(m)
+                )
+                if prepared is not _FAILED:
+                    prepared_of[id(execution)] = prepared
+
+        for group in plan_tick_groups(
+            askable,
+            key_of=lambda pair: (
+                tuple(pair[0].optimizer.space.parameters),
+                pair[0].optimizer.encoding,
+            ),
+            identity_of=lambda pair: id(pair[0].optimizer),
+        ):
+            if not group.fused:
+                solo(group.members)
+                continue
+            try:
+                prepared_list = prepare_ask_fleet(
+                    [(execution.optimizer, n) for execution, n in group.members]
+                )
+            except Exception:
+                if self.on_campaign_error != "quarantine":
+                    raise
+                solo(group.members)
+                continue
+            self.num_ask_fleet_passes += 1
+            self.num_ask_fleet_members += len(group.members)
+            for (execution, _), prepared in zip(group.members, prepared_list):
+                accepted = self._step(
+                    execution,
+                    "ask",
+                    lambda e=execution, p=prepared: e.accept_prepared_ask(p),
+                )
+                if accepted is not _FAILED:
+                    prepared_of[id(execution)] = accepted
+        return [
+            (execution, prepared_of[id(execution)])
+            for execution in ticking
+            if id(execution) in prepared_of
         ]
 
     def _surviving(self, executions: List[CampaignExecution]) -> List[CampaignExecution]:
@@ -855,6 +1026,7 @@ class ElasticCampaignRunner(CampaignRunner):
         batch_candidate_scoring: bool = True,
         batch_vae_fits: bool = True,
         batch_gp_fits: bool = True,
+        batch_asks: bool = True,
         run_batcher: Optional[Callable] = None,
         on_campaign_error: str = "raise",
     ):
@@ -867,6 +1039,7 @@ class ElasticCampaignRunner(CampaignRunner):
             batch_candidate_scoring=batch_candidate_scoring,
             batch_vae_fits=batch_vae_fits,
             batch_gp_fits=batch_gp_fits,
+            batch_asks=batch_asks,
             run_batcher=run_batcher,
             on_campaign_error=on_campaign_error,
         )

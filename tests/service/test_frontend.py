@@ -21,6 +21,7 @@ from fixtures import (
 )
 from repro.service import (
     CampaignRegistry,
+    ElasticCampaignRunner,
     HTTPStudyClient,
     ProtocolError,
     RegistryError,
@@ -168,6 +169,69 @@ class TestStudyClient:
         with pytest.raises(ProtocolError, match="managed"):
             registry.report("svc", [1.0])
         assert registry.status("svc")["mode"] == "managed"
+
+
+class TestBatchedAskService:
+    """The registry/frontend protocol must survive fleet-ask grouping.
+
+    Managed studies admitted by the registry run through the elastic
+    runner's batched ask; ask/tell studies re-derive suggestions after a
+    crash.  Neither protocol promise may depend on ``batch_asks``.
+    """
+
+    def test_stale_studies_over_a_batched_managed_cohort(self):
+        now = {"t": 0.0}
+        runner = ElasticCampaignRunner(batch_asks=True)
+        registry = make_registry(runner=runner, clock=lambda: now["t"])
+        registry.create_study("a", mode="managed", **BUDGET)
+        registry.create_study("b", mode="managed", seed=1, **BUDGET)
+        for _ in range(4):
+            runner.tick()
+        # Service-side ticking is not client liveness: both studies go
+        # stale despite the runner making progress on their campaigns.
+        now["t"] = 100.0
+        assert registry.stale_studies(max_age=50.0) == ["a", "b"]
+        registry.heartbeat("a")
+        assert registry.stale_studies(max_age=50.0) == ["b"]
+        runner.run_until_complete()
+        # Equal template spaces are built per study, so grouping had to
+        # unify separately-constructed (equal, non-identical) spaces.
+        assert runner.num_ask_fleet_passes > 0
+        assert registry.status("a")["finished"]
+        assert registry.status("b")["finished"]
+
+    def test_suggest_after_crash_rederives_the_same_batch(self, tmp_path):
+        first = make_registry(root=tmp_path)
+        client = StudyClient(first, "tune-1", seed=3, **BUDGET)
+        for _ in range(2):
+            batch = client.suggest()
+            client.report([service_run_function(c) for c in batch])
+        pending = client.suggest()
+        # Crash before the report: a fresh registry over the same journal
+        # root must re-derive the identical outstanding batch.
+        second = make_registry(root=tmp_path)
+        resumed = StudyClient(second, "tune-1", seed=3, **BUDGET)
+        assert resumed.attached
+        assert resumed.suggest() == pending
+        status = resumed.run(service_run_function)
+        assert status["finished"]
+        assert_results_identical(solo_result(3), resumed.result())
+
+    def test_http_suggest_after_crash_rederives(self, tmp_path):
+        with StudyFrontend(make_registry(root=tmp_path)) as server:
+            client = HTTPStudyClient(server.address, "tune-1", seed=3, **BUDGET)
+            batch = client.suggest()
+            client.report([service_run_function(c) for c in batch])
+            pending = client.suggest()
+        with StudyFrontend(make_registry(root=tmp_path)) as server:
+            client = HTTPStudyClient(server.address, "tune-1", seed=3, **BUDGET)
+            assert client.attached
+            assert client.suggest() == pending
+            status = client.run(service_run_function)
+            assert status["finished"]
+            assert_results_identical(
+                solo_result(3), server.registry.result("tune-1")
+            )
 
 
 class TestHTTPFrontend:

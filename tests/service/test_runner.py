@@ -300,6 +300,74 @@ class TestTransferCampaignFleet:
             assert_identical(a, b)
         assert runner.num_prior_refreshes > 0
 
+    def test_deferred_transfer_fits_fuse_at_construction(self):
+        """``defer_transfer_fit=True`` cohorts train their initial transfer
+        VAEs as one fleet pass at runner start, bit-identical to eager
+        construction-time fits."""
+        space = make_space()
+        # Big enough that the top quantile clears min_configurations_for_vae.
+        source = make_source_history(space, n=120)
+
+        def make(seed, defer):
+            return VAEABOSearch(
+                space,
+                run_function,
+                source_history=source,
+                vae_epochs=15,
+                num_workers=6,
+                surrogate=RandomForestSurrogate(n_estimators=6, seed=seed),
+                num_candidates=48,
+                n_initial_points=5,
+                seed=seed,
+                defer_transfer_fit=defer,
+            )
+
+        sequential = [
+            make(seed, False).run(max_time=600.0, max_evaluations=20)
+            for seed in range(3)
+        ]
+        specs = [
+            CampaignSpec(search=make(seed, True), max_time=600.0, max_evaluations=20)
+            for seed in range(3)
+        ]
+        assert all(spec.search.pending_transfer_fit is not None for spec in specs)
+        runner = CampaignRunner(specs)
+        batched = runner.run()
+        for a, b in zip(sequential, batched):
+            assert_identical(a, b)
+        assert runner.num_transfer_fleet_fits == 1
+        assert runner.num_transfer_fleet_members == 3
+        assert all(spec.search.pending_transfer_fit is None for spec in specs)
+
+    def test_deferred_singleton_takes_the_solo_backstop(self):
+        """A deferred fleet of one trains through the execution backstop."""
+        space = make_space()
+        source = make_source_history(space, n=120)
+
+        def make(defer):
+            return VAEABOSearch(
+                space,
+                run_function,
+                source_history=source,
+                vae_epochs=15,
+                num_workers=6,
+                surrogate=RandomForestSurrogate(n_estimators=6, seed=0),
+                num_candidates=48,
+                n_initial_points=5,
+                seed=0,
+                defer_transfer_fit=defer,
+            )
+
+        eager = make(False).run(max_time=600.0, max_evaluations=20)
+        runner = CampaignRunner(
+            [CampaignSpec(search=make(True), max_time=600.0, max_evaluations=20)]
+        )
+        batched = runner.run()
+        assert_identical(eager, batched[0])
+        assert runner.num_transfer_fleet_fits == 0
+        # And entirely outside a runner, a deferred solo run is unchanged.
+        assert_identical(eager, make(True).run(max_time=600.0, max_evaluations=20))
+
     def test_solo_run_installs_refreshed_prior(self):
         space = make_space()
         search = make_refresh_search(0, space)
