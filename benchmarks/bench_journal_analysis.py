@@ -1,0 +1,331 @@
+"""Cold-start analysis over hundreds of stored campaigns: journal mmap vs CSV.
+
+A long-lived tuning service accumulates one stored campaign per study; the
+paper's figure tables (Fig. 3/4/5) are aggregations over exactly such corpora.
+The CSV interchange path pays a full text parse per campaign per process; the
+memory-mapped journal read path (:class:`repro.core.journal.JournalReader`)
+maps the binary columns at their checkpoint watermark and never decodes the
+parameter columns for metadata-only sweeps.
+
+This benchmark synthesises a corpus of a few hundred stored campaigns
+(grouped into setups × variants × repetitions, values quantised to the CSV
+format's 6-decimal precision so both formats load bit-identical doubles),
+writes it twice — ``format="csv"`` and ``format="journal"`` — and measures a
+**cold start** per format: a child process that loads every campaign
+(:func:`~repro.analysis.csvio.load_campaign`) and renders the Fig. 3 table,
+reporting wall-clock time and peak RSS (``ru_maxrss``).  A child process per
+mode is the only honest way to measure cold-start peak RSS: ``ru_maxrss`` is
+monotonic within a process, so back-to-back in-process measurements would
+credit the second mode with the first mode's high-water mark.
+
+Correctness is asserted alongside the measurement: the journal-loaded
+histories must be **bit-identical** to their CSV-loaded counterparts
+(configurations, timestamps, runtimes, objectives) and both modes must render
+the **same Fig. 3 table**.
+
+Results are written to ``BENCH_journal_analysis.json`` (repo root by
+default).  Acceptance bar: >= 5x faster cold-start load+fig3 over >= 200
+stored campaigns, bit-identical histories, identical tables.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_journal_analysis.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `common` when run directly
+
+from repro.analysis.campaign import CampaignResult, result_from_history
+from repro.analysis.csvio import load_campaign, save_campaign
+from repro.analysis.figures import fig3_table
+from repro.core.history import Evaluation, SearchHistory
+from repro.core.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    RealParameter,
+    SearchSpace,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_journal_analysis.json"
+
+KNOBS = dict(
+    num_setups=6,
+    num_variants=5,
+    num_reps=8,  # stored campaigns = setups * variants * reps = 240
+    min_rows=400,
+    max_rows=500,
+    max_time=3600.0,
+    num_workers=16,
+)
+
+QUICK_KNOBS = dict(
+    num_setups=2,
+    num_variants=2,
+    num_reps=2,
+    min_rows=30,
+    max_rows=40,
+    max_time=3600.0,
+    num_workers=16,
+)
+
+
+def make_bench_space() -> SearchSpace:
+    """The synthetic corpus' space (mixed types, like the service space)."""
+    return SearchSpace(
+        [
+            IntegerParameter("batch", 1, 1024, log=True),
+            RealParameter("rate", 0.1, 50.0, log=True),
+            CategoricalParameter("pool", ("fifo", "prio", "wait")),
+            CategoricalParameter.boolean("busy"),
+        ]
+    )
+
+
+def synth_history(
+    space: SearchSpace, rng: np.random.Generator, knobs: Dict
+) -> SearchHistory:
+    """One synthetic campaign history with CSV-exact (6-decimal) metadata.
+
+    The CSV format writes timestamps/runtimes/objectives with ``%.6f``;
+    quantising the synthetic values to 6 decimals makes the CSV round trip
+    exact, so the journal-vs-CSV bit-identity assertion is meaningful.
+    """
+    n = int(rng.integers(knobs["min_rows"], knobs["max_rows"] + 1))
+    num_workers = knobs["num_workers"]
+    history = SearchHistory(space)
+    configs = space.sample(n, rng)
+    clock = np.zeros(num_workers)
+    for i, config in enumerate(configs):
+        worker = int(i % num_workers)
+        runtime = round(float(rng.uniform(20.0, 120.0)), 6)
+        submitted = round(float(clock[worker]), 6)
+        completed = round(submitted + runtime, 6)
+        clock[worker] = completed
+        failed = rng.random() < 0.02
+        history.append(
+            Evaluation(
+                configuration=config,
+                objective=float("nan") if failed else -runtime,
+                runtime=float("nan") if failed else runtime,
+                submitted=submitted,
+                completed=completed,
+                worker=worker,
+                eval_id=i,
+            )
+        )
+    return history
+
+
+def generate_corpus(root: Path, knobs: Dict, seed: int = 0) -> Dict[str, int]:
+    """Write the synthetic corpus under ``root/csv`` and ``root/journal``.
+
+    Layout: one campaign directory per (setup, variant) holding ``num_reps``
+    stored repetitions — the shape ``load_campaign`` + ``fig3_table`` consume.
+    Both formats are written from the *same* in-memory histories.
+    """
+    rng = np.random.default_rng(seed)
+    space = make_bench_space()
+    campaigns = 0
+    rows = 0
+    for s in range(knobs["num_setups"]):
+        for v in range(knobs["num_variants"]):
+            campaign = CampaignResult(
+                label=f"variant{v}",
+                setup=f"setup{s}",
+                max_time=knobs["max_time"],
+                num_workers=knobs["num_workers"],
+            )
+            for _ in range(knobs["num_reps"]):
+                history = synth_history(space, rng, knobs)
+                campaign.results.append(
+                    result_from_history(
+                        history,
+                        max_time=knobs["max_time"],
+                        num_workers=knobs["num_workers"],
+                    )
+                )
+                campaigns += 1
+                rows += len(history)
+            name = f"setup{s}-variant{v}"
+            save_campaign(campaign, root / "csv" / name, format="csv")
+            save_campaign(campaign, root / "journal" / name, format="journal")
+    return {"stored_campaigns": campaigns, "total_rows": rows}
+
+
+# ------------------------------------------------------------ cold-start child
+def cold_load(root: Path) -> Dict[str, object]:
+    """Load every campaign under ``root`` and render the Fig. 3 table.
+
+    Runs inside a fresh child process (``--measure``): every cache is empty
+    and ``ru_maxrss`` reflects this workload alone.
+    """
+    space = make_bench_space()
+    start = time.perf_counter()
+    chain: Dict[str, Dict[str, CampaignResult]] = {}
+    rows = 0
+    for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+        campaign = load_campaign(directory, space)
+        rows += sum(len(r.history) for r in campaign.results)
+        chain.setdefault(campaign.setup, {})[campaign.label] = campaign
+    table = fig3_table(chain)
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": elapsed,
+        "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "table_sha256": hashlib.sha256(table.encode()).hexdigest(),
+        "total_rows": rows,
+    }
+
+
+def measure_cold(root: Path, reps: int) -> Dict[str, object]:
+    """Run :func:`cold_load` in ``reps`` fresh child processes; best-of."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    best = None
+    for _ in range(reps):
+        out = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--measure", str(root)],
+            check=True,
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        sample = json.loads(out.stdout)
+        if best is None or sample["elapsed_s"] < best["elapsed_s"]:
+            best = sample
+    return best
+
+
+# ---------------------------------------------------------------- bit identity
+def assert_histories_identical(a: SearchHistory, b: SearchHistory, what: str) -> None:
+    assert len(a) == len(b), f"{what}: history length {len(a)} != {len(b)}"
+    for ev_a, ev_b in zip(a, b):
+        assert ev_a.configuration == ev_b.configuration, f"{what}: configuration"
+        assert ev_a.submitted == ev_b.submitted, f"{what}: submitted"
+        assert ev_a.completed == ev_b.completed, f"{what}: completed"
+        assert ev_a.worker == ev_b.worker, f"{what}: worker"
+        assert ev_a.eval_id == ev_b.eval_id, f"{what}: eval_id"
+        assert (ev_a.runtime == ev_b.runtime) or (
+            math.isnan(ev_a.runtime) and math.isnan(ev_b.runtime)
+        ), f"{what}: runtime"
+        assert (ev_a.objective == ev_b.objective) or (
+            math.isnan(ev_a.objective) and math.isnan(ev_b.objective)
+        ), f"{what}: objective"
+
+
+def check_bit_identity(root: Path) -> int:
+    """Journal-loaded histories must equal their CSV-loaded counterparts."""
+    space = make_bench_space()
+    checked = 0
+    for csv_dir in sorted(p for p in (root / "csv").iterdir() if p.is_dir()):
+        journal_dir = root / "journal" / csv_dir.name
+        from_csv = load_campaign(csv_dir, space)
+        from_journal = load_campaign(journal_dir, space)
+        assert len(from_csv.results) == len(from_journal.results), csv_dir.name
+        for i, (rc, rj) in enumerate(zip(from_csv.results, from_journal.results)):
+            assert_histories_identical(
+                rc.history, rj.history, f"{csv_dir.name}/rep{i:02d}"
+            )
+            checked += 1
+    return checked
+
+
+# ------------------------------------------------------------------- benchmark
+def run_benchmark(knobs: Dict, reps: int, output: Path) -> Dict:
+    with tempfile.TemporaryDirectory(prefix="bench-journal-analysis-") as tmp:
+        root = Path(tmp)
+        counts = generate_corpus(root, knobs)
+        print(
+            f"corpus: {counts['stored_campaigns']} stored campaigns, "
+            f"{counts['total_rows']} rows"
+        )
+        checked = check_bit_identity(root)
+        results = {
+            mode: measure_cold(root / mode, reps) for mode in ("csv", "journal")
+        }
+    tables_equal = results["csv"]["table_sha256"] == results["journal"]["table_sha256"]
+    assert tables_equal, "fig3 tables differ between CSV and journal loads"
+    assert results["csv"]["total_rows"] == results["journal"]["total_rows"]
+    speedup = results["csv"]["elapsed_s"] / results["journal"]["elapsed_s"]
+    for mode in ("csv", "journal"):
+        r = results[mode]
+        print(
+            f"{mode:>8}: {r['elapsed_s']:7.3f}s  peak RSS {r['maxrss_kb'] / 1024:7.1f} MiB"
+        )
+    print(f" speedup: {speedup:.1f}x (cold-start load_campaign + fig3_table)")
+    passed = bool(
+        speedup >= 5.0 and counts["stored_campaigns"] >= 200 and tables_equal
+    )
+    payload = {
+        "benchmark": "journal_analysis",
+        "knobs": dict(knobs),
+        "reps": reps,
+        "description": (
+            "Cold-start analysis over a corpus of stored campaigns: a fresh "
+            "child process per mode loads every campaign (load_campaign) and "
+            "renders the Fig. 3 table, for the CSV interchange format vs the "
+            "memory-mapped campaign-journal format. Histories are asserted "
+            "bit-identical across formats and both modes must render the "
+            "same table. Times are best-of-reps; peak RSS is the child's "
+            "ru_maxrss."
+        ),
+        "corpus": counts,
+        "results": results,
+        "acceptance": {
+            "criterion": (
+                ">= 5x faster cold-start load+fig3 over >= 200 stored "
+                "campaigns, histories bit-identical, tables identical"
+            ),
+            "speedup": speedup,
+            "stored_campaigns": counts["stored_campaigns"],
+            "histories_checked": checked,
+            "bit_identical": True,
+            "tables_identical": tables_equal,
+            "passed": passed,
+        },
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {output}")
+    status = "PASS" if passed else "FAIL"
+    print(f"acceptance ({payload['acceptance']['criterion']}): {speedup:.1f}x -> {status}")
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny corpus, one rep (CI smoke)"
+    )
+    parser.add_argument("--reps", type=int, default=3, help="cold runs per mode (best-of)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
+    parser.add_argument(
+        "--measure", type=Path, default=None, help=argparse.SUPPRESS
+    )  # internal: cold-start child, prints one JSON sample
+    args = parser.parse_args(argv)
+    if args.measure is not None:
+        print(json.dumps(cold_load(args.measure)))
+        return None
+    if args.quick:
+        return run_benchmark(QUICK_KNOBS, reps=1, output=args.output)
+    return run_benchmark(KNOBS, reps=args.reps, output=args.output)
+
+
+if __name__ == "__main__":
+    main()

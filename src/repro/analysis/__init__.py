@@ -11,6 +11,10 @@
 * :mod:`repro.analysis.figures` — produces the data series behind every
   figure of the evaluation section; the benchmark harness prints these as
   tables.
+* :mod:`repro.analysis.csvio` / :mod:`repro.analysis.store` — campaign
+  persistence: CSV interchange plus the memory-mapped journal read path, and
+  the :class:`~repro.analysis.store.CampaignStore` catalog for cold-start
+  analysis over a root of thousands of journaled campaigns.
 """
 
 from repro.analysis.metrics import (
@@ -24,16 +28,20 @@ from repro.analysis.metrics import (
 from repro.analysis.campaign import (
     AggregatedMetrics,
     CampaignResult,
+    result_from_history,
     run_repeated_search,
     run_transfer_chain,
 )
+from repro.analysis.store import CampaignStore
 
 __all__ = [
     "AggregatedMetrics",
     "CampaignResult",
+    "CampaignStore",
     "best_runtime",
     "mean_best_runtime",
     "num_evaluations",
+    "result_from_history",
     "run_repeated_search",
     "run_transfer_chain",
     "search_speedup",

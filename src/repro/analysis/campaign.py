@@ -33,12 +33,63 @@ from repro.analysis.metrics import (
 __all__ = [
     "AggregatedMetrics",
     "CampaignResult",
+    "result_from_history",
     "run_repeated_search",
     "run_transfer_chain",
     "aggregate_trajectories",
 ]
 
 RunFunction = Callable[[dict], float]
+
+
+def result_from_history(
+    history: SearchHistory,
+    max_time: float,
+    num_workers: int,
+    busy_intervals: Optional[List[Tuple[float, float]]] = None,
+    worker_utilization: Optional[float] = None,
+) -> SearchResult:
+    """Rebuild a :class:`~repro.core.search.SearchResult` from a stored history.
+
+    The shared reconstruction used by every load path (CSV directories,
+    journal directories, :class:`~repro.analysis.store.CampaignStore`):
+    best configuration/runtime come from the history, busy intervals default
+    to the evaluations' own ``(submitted, completed)`` windows, and the
+    utilisation — when not recorded — is recomputed from those intervals
+    clipped to the budget (the same definition the live evaluator uses).
+    Caller-provided ``busy_intervals`` are stored as given — every load path
+    hands over ``(float, float)`` pairs already, so re-normalising them here
+    would cost a per-row pass per campaign for nothing.
+    """
+    best = history.best()
+    if busy_intervals is None:
+        busy_intervals = list(
+            zip(
+                history.submitted_times().tolist(),
+                history.completed_times().tolist(),
+            )
+        )
+    if worker_utilization is None:
+        if max_time > 0 and num_workers >= 1:
+            busy = sum(
+                max(0.0, min(float(end), max_time) - min(float(start), max_time))
+                for start, end in busy_intervals
+                if np.isfinite(end)
+            )
+            worker_utilization = busy / (num_workers * max_time)
+        else:
+            worker_utilization = float("nan")
+    return SearchResult(
+        history=history,
+        best_configuration=best.configuration if best else None,
+        best_runtime=best.runtime if best else float("nan"),
+        best_objective=best.objective if best else float("nan"),
+        num_evaluations=len(history),
+        worker_utilization=float(worker_utilization),
+        search_time=float(max_time),
+        num_workers=int(num_workers),
+        busy_intervals=list(busy_intervals),
+    )
 
 
 @dataclass(frozen=True)

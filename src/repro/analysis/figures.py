@@ -6,6 +6,12 @@ it turns :class:`~repro.analysis.campaign.CampaignResult` objects into the
 exact series each figure plots and renders them as plain-text tables (the
 benchmark harness prints these, and they are easy to diff against
 EXPERIMENTS.md).
+
+The campaign mappings can come from live runs, CSV directories
+(:func:`~repro.analysis.csvio.load_campaign`) or — the cold-start fast path —
+a :class:`~repro.analysis.store.CampaignStore` over journaled campaigns
+(:func:`fig3_table_from_store`), in which case every series is computed
+straight off memory-mapped columns.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ __all__ = [
     "format_table",
     "fig3_series",
     "fig3_table",
+    "fig3_table_from_store",
     "fig4_rows",
     "fig4_table",
     "fig5_rows",
@@ -92,6 +99,20 @@ def fig3_table(
             )
             rows.append(row)
     return format_table(headers, rows)
+
+
+def fig3_table_from_store(
+    store,
+    sample_times: Sequence[float] = (300.0, 900.0, 1800.0, 3600.0),
+) -> str:
+    """The Fig. 3 table over a whole :class:`~repro.analysis.store.CampaignStore`.
+
+    Groups the stored campaigns by their journal meta's ``setup``/``label``
+    fields and renders :func:`fig3_table` — all incumbent resolution happens
+    on the journals' memory-mapped metadata columns, so this is the
+    cold-start analysis entry point over thousands of stored campaigns.
+    """
+    return fig3_table(store.grouped(), sample_times=sample_times)
 
 
 # --------------------------------------------------------------------- Fig. 4

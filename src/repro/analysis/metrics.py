@@ -155,15 +155,21 @@ def utilization_timeline(
     if window <= 0 or max_time <= 0:
         raise ValueError("window and max_time must be positive")
     edges = np.arange(0.0, max_time + window, window)
+    if busy_intervals:
+        starts = np.asarray([s for s, _ in busy_intervals], dtype=float)
+        ends = np.asarray([e for _, e in busy_intervals], dtype=float)
+    else:
+        starts = ends = np.empty(0, dtype=float)
     points: List[Tuple[float, float]] = []
     for lo, hi in zip(edges[:-1], edges[1:]):
         hi = min(hi, max_time)
         if hi <= lo:
             break
-        busy = 0.0
-        for start, end in busy_intervals:
-            overlap = min(end, hi) - max(start, lo)
-            if overlap > 0:
-                busy += overlap
+        # Vectorised overlap of every interval with this window: negative
+        # overlaps clip to zero, so only genuinely intersecting intervals
+        # contribute — same result as the former per-interval Python loop,
+        # one array pass per window instead.
+        overlap = np.minimum(ends, hi) - np.maximum(starts, lo)
+        busy = float(np.clip(overlap, 0.0, None).sum())
         points.append(((lo + hi) / 2.0, busy / (num_workers * (hi - lo))))
     return points

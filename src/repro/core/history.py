@@ -21,6 +21,15 @@ repetitions × setups) this keeps the analysis layer and the transfer-learning
 
 :class:`SearchHistory` supports:
 
+Histories normally own their buffers, but :meth:`SearchHistory.from_columns`
+builds a **read-only zero-copy view** over externally owned column arrays —
+the campaign journal's memory-mapped files (:class:`repro.core.journal.JournalReader`).
+Such a view serves every derived metric straight off the mapped pages;
+parameter columns decode lazily on first configuration access, and
+:meth:`SearchHistory.copy` thaws the view into an ordinary mutable history.
+
+:class:`SearchHistory` supports:
+
 * appending :class:`Evaluation` records as the asynchronous search completes
   them,
 * the incumbent trajectory (best objective / run time as a function of search
@@ -123,6 +132,15 @@ class SearchHistory:
         self.objective = objective or Objective()
         self._n = 0
         self._capacity = 0
+        # Read-only views (journal-backed) reject mutation; see from_columns.
+        self._read_only = False
+        # Deferred parameter-column loaders (read-only views only): column
+        # name -> () -> object-dtype array, invoked on first _param_bufs use.
+        self._param_loaders: Dict[str, Any] = {}
+        # Optional per-row loaders (name -> (row) -> value) for read-only
+        # views: materialising a single configuration (best()) decodes one
+        # value per parameter instead of whole columns.
+        self._param_element_loaders: Dict[str, Any] = {}
         # Metadata columns (append-only, capacity-doubling).
         self._objective_buf = np.empty(0, dtype=float)
         self._runtime_buf = np.empty(0, dtype=float)
@@ -134,7 +152,7 @@ class SearchHistory:
         # values appended (ints stay ints, bools stay bools, category strings
         # stay strings), so lazily materialised Evaluation views and the CSV
         # text are bit-compatible with the former row-major storage.
-        self._param_bufs: Dict[str, np.ndarray] = {
+        self._param_bufs = {
             name: np.empty(0, dtype=object) for name in space.parameter_names
         }
         # Rare escape hatch for hand-built evaluations whose configuration has
@@ -149,6 +167,84 @@ class SearchHistory:
         self._runtimes_cache: Optional[np.ndarray] = None
         self._completed_cache: Optional[np.ndarray] = None
         self._submitted_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------- parameter columns
+    @property
+    def _param_bufs(self) -> Dict[str, np.ndarray]:
+        """The object-dtype parameter columns, decoding lazily when deferred.
+
+        Ordinary histories store the columns directly; a journal-backed
+        read-only view (:meth:`from_columns`) defers them behind loaders so
+        metric sweeps that never touch configurations never decode them.
+        """
+        store = self._param_store
+        if store is None:
+            store = self._param_store = {
+                name: loader() for name, loader in self._param_loaders.items()
+            }
+        return store
+
+    @_param_bufs.setter
+    def _param_bufs(self, value: Dict[str, np.ndarray]) -> None:
+        self._param_store = value
+
+    # ------------------------------------------------------ zero-copy views
+    @classmethod
+    def from_columns(
+        cls,
+        space: SearchSpace,
+        meta_columns: Dict[str, np.ndarray],
+        param_loaders: Dict[str, Any],
+        objective: Optional[Objective] = None,
+        param_element_loaders: Optional[Dict[str, Any]] = None,
+    ) -> "SearchHistory":
+        """A read-only history over externally owned column arrays (zero-copy).
+
+        ``meta_columns`` supplies the six metadata columns (``objective``,
+        ``runtime``, ``submitted``, ``completed``, ``worker``, ``eval_id``)
+        as equal-length arrays — typically ``np.memmap`` views of a campaign
+        journal — which become the history's buffers *without copying*.
+        ``param_loaders`` maps each parameter name to a zero-argument
+        callable returning that parameter's object-dtype value column; the
+        loaders run lazily, on the first access that needs configurations
+        (``best()``, ``top_quantile``, CSV export), and never for the purely
+        columnar metrics.  ``param_element_loaders`` optionally maps each
+        parameter name to a ``(row) -> value`` callable; while the full
+        columns are still deferred, single-row materialisation (``best()``)
+        goes through these instead of forcing every column to decode.
+
+        The view rejects :meth:`append`; :meth:`copy` /:meth:`truncated`
+        return ordinary mutable histories (the thaw escape hatch).
+        """
+        n = int(np.asarray(meta_columns["objective"]).shape[0])
+        for name, column in meta_columns.items():
+            if column.shape[0] != n:
+                raise ValueError(
+                    f"metadata column {name!r} has {column.shape[0]} rows, "
+                    f"expected {n}"
+                )
+        missing = [name for name in space.parameter_names if name not in param_loaders]
+        if missing:
+            raise ValueError(f"param_loaders missing columns for {missing}")
+        history = cls(space, objective=objective)
+        history._n = n
+        history._capacity = n
+        history._objective_buf = meta_columns["objective"]
+        history._runtime_buf = meta_columns["runtime"]
+        history._submitted_buf = meta_columns["submitted"]
+        history._completed_buf = meta_columns["completed"]
+        history._worker_buf = meta_columns["worker"]
+        history._eval_id_buf = meta_columns["eval_id"]
+        history._param_store = None
+        history._param_loaders = dict(param_loaders)
+        history._param_element_loaders = dict(param_element_loaders or {})
+        history._read_only = True
+        return history
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this history is an immutable zero-copy view (no appends)."""
+        return self._read_only
 
     # ---------------------------------------------------------------- dunders
     def __len__(self) -> int:
@@ -186,6 +282,11 @@ class SearchHistory:
 
     def append(self, evaluation: Evaluation) -> None:
         """Append one completed evaluation (decomposed into the columns)."""
+        if self._read_only:
+            raise TypeError(
+                "this SearchHistory is a read-only journal view; "
+                "copy() it to obtain a mutable history"
+            )
         i = self._n
         self._ensure_row_capacity(i + 1)
         self._objective_buf[i] = float(evaluation.objective)
@@ -247,6 +348,13 @@ class SearchHistory:
     # -------------------------------------------------------- materialisation
     def _config_at(self, i: int) -> Configuration:
         """Materialise row ``i``'s configuration as a plain dict."""
+        if self._param_store is None and self._param_element_loaders:
+            # Read-only view with its columns still deferred: decode just
+            # this row (views never carry _extras or missing parameters).
+            return {
+                name: loader(i)
+                for name, loader in self._param_element_loaders.items()
+            }
         config: Configuration = {}
         for name, buf in self._param_bufs.items():
             value = buf[i]
@@ -293,7 +401,10 @@ class SearchHistory:
     def _meta_column(self, cache_name: str, buf: np.ndarray) -> np.ndarray:
         cached = getattr(self, cache_name)
         if cached is None:
-            cached = buf[: self._n].copy()
+            # Read-only views never append, so handing out the underlying
+            # (memory-mapped) column directly is safe — that zero-copy slice
+            # is the whole point of the journal-backed analysis path.
+            cached = buf[: self._n] if self._read_only else buf[: self._n].copy()
             cached.setflags(write=False)
             setattr(self, cache_name, cached)
         return cached
@@ -355,9 +466,17 @@ class SearchHistory:
         return self._materialize(int(finite[np.argmax(obj[finite])]))
 
     def best_runtime(self) -> float:
-        """Run time of the best configuration found (NaN if none succeeded)."""
-        best = self.best()
-        return best.runtime if best is not None else float("nan")
+        """Run time of the best configuration found (NaN if none succeeded).
+
+        Computed straight off the objective/runtime columns — unlike
+        :meth:`best` no configuration is materialised, so metric sweeps over
+        journal-backed views never trigger parameter decoding.
+        """
+        obj = self._objective_buf[: self._n]
+        finite = np.flatnonzero(np.isfinite(obj))
+        if finite.size == 0:
+            return float("nan")
+        return float(self._runtime_buf[: self._n][finite[np.argmax(obj[finite])]])
 
     def _trajectory_arrays(self, require_objective: bool) -> Tuple[np.ndarray, np.ndarray]:
         """Incumbent (completion_time, best_runtime) points as arrays.

@@ -31,22 +31,45 @@ the final fit after restoring the pre-fit RNG state — prior refreshes are
 re-trained against the same truncated history prefixes they originally saw,
 and the evaluator reloads its pending evaluations with their already-decided
 runtimes.  The resumed campaign is bit-identical to one that never crashed.
+
+The **read side** is :class:`JournalReader`: a zero-copy, memory-mapped view
+of a journaled campaign at its checkpoint watermark.  Each per-column append
+file is ``np.memmap``-ed up to the committed row count — bytes past the
+watermark (a live writer's uncheckpointed appends, or a torn tail left by a
+crash) are simply never mapped, so one writer and any number of reader
+processes can share a journal directory without locking and without
+rewriting anything.  :func:`open_journal_reader` serves readers through an
+LRU-bounded cache keyed by the checkpoint record's identity, so a cold
+analysis sweep over thousands of stored campaigns neither re-reads column
+data nor accumulates an unbounded number of live mappings
+(:func:`set_journal_cache_limit` / :func:`clear_journal_cache` mirror the
+parsed-CSV cache controls in :mod:`repro.analysis.csvio`).
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.history import Evaluation, SearchHistory
 from repro.core.ioutil import atomic_write_text, fsync_file
+from repro.core.objective import Objective
 from repro.core.space import IntegerParameter, RealParameter, SearchSpace
 
-__all__ = ["CampaignJournal", "JournalError"]
+__all__ = [
+    "CampaignJournal",
+    "JournalError",
+    "JournalReader",
+    "open_journal_reader",
+    "clear_journal_cache",
+    "set_journal_cache_limit",
+]
 
 FORMAT_VERSION = 1
 META_NAME = "meta.json"
@@ -117,12 +140,22 @@ class _ParamCodec:
 
     def decode(self, column: np.ndarray) -> List:
         param = self.param
-        if isinstance(param, RealParameter):
-            return [float(v) for v in column]
-        if isinstance(param, IntegerParameter):
-            return [int(v) for v in column]
+        # tolist() converts the whole column to native Python scalars in one
+        # C pass — element-wise iteration over a memory-mapped column would
+        # pay one buffer access per value instead.
+        values = column.tolist()
+        if isinstance(param, (RealParameter, IntegerParameter)):
+            return values
         domain = param._domain
-        return [domain[int(v)] for v in column]
+        return [domain[v] for v in values]
+
+    def decode_element(self, value):
+        param = self.param
+        if isinstance(param, RealParameter):
+            return float(value)
+        if isinstance(param, IntegerParameter):
+            return int(value)
+        return param._domain[int(value)]
 
 
 def _space_fingerprint(space: SearchSpace) -> List[List[str]]:
@@ -239,31 +272,55 @@ class CampaignJournal:
         journal._fit_rows = [int(r) for r in checkpoint["fit_rows"]]
         journal._pre_fit_rng = checkpoint.get("pre_fit_rng")
         journal._refresh_rows = [int(r) for r in checkpoint["refresh_rows"]]
-        for name, dtype in journal._data_files():
-            path = journal.directory / name
-            count = journal.num_intervals * 2 if name == "intervals.bin" else journal.num_rows
-            expected = count * np.dtype(dtype).itemsize
-            size = path.stat().st_size if path.exists() else -1
-            if size < expected:
-                raise JournalError(
-                    f"journal data file {name} holds {size} bytes, "
-                    f"checkpoint requires {expected}"
-                )
-            if size > expected:
-                with open(path, "r+b") as handle:
-                    handle.truncate(expected)
-        journal._open_handles()
+        try:
+            for name, dtype in journal._data_files():
+                path = journal.directory / name
+                count = journal.num_intervals * 2 if name == "intervals.bin" else journal.num_rows
+                expected = count * np.dtype(dtype).itemsize
+                size = path.stat().st_size if path.exists() else -1
+                if size < expected:
+                    raise JournalError(
+                        f"journal data file {name} holds {size} bytes, "
+                        f"checkpoint requires {expected}"
+                    )
+                if size > expected:
+                    with open(path, "r+b") as handle:
+                        handle.truncate(expected)
+            journal._open_handles()
+        except BaseException:
+            # A half-done attach (missing/short data file, truncate or open
+            # failure) must not leak whatever handles were already opened.
+            journal.close()
+            raise
         return journal
 
     def _open_handles(self) -> None:
-        for name, _ in self._data_files():
-            self._handles[name] = open(self.directory / name, "ab")
+        try:
+            for name, _ in self._data_files():
+                self._handles[name] = open(self.directory / name, "ab")
+        except BaseException:
+            self.close()
+            raise
 
     def close(self) -> None:
-        """Close the append handles (the journal can be re-attached later)."""
-        for handle in self._handles.values():
-            handle.close()
+        """Close the append handles (idempotent; the journal can re-attach).
+
+        Every handle is closed even when one of them raises — the first
+        error propagates after the sweep — and a second ``close()`` is a
+        no-op, so cleanup paths (failed attach, registry eviction, ``with``
+        blocks in callers) can call it unconditionally.
+        """
+        handles = list(self._handles.values())
         self._handles.clear()
+        first_error: Optional[BaseException] = None
+        for handle in handles:
+            try:
+                handle.close()
+            except BaseException as error:  # pragma: no cover - OS-level rarity
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:  # pragma: no cover - OS-level rarity
+            raise first_error
 
     # ------------------------------------------------------------------- meta
     def write_meta(self, extra: Dict) -> None:
@@ -457,3 +514,297 @@ class CampaignJournal:
                     f"journal {key}={meta.get(key)!r} does not match the "
                     f"resuming search ({value!r})"
                 )
+
+
+def _object_column(values: Sequence) -> np.ndarray:
+    """Pack decoded parameter values into the object-dtype column layout
+    :class:`~repro.core.history.SearchHistory` stores natively."""
+    column = np.empty(len(values), dtype=object)
+    column[:] = values
+    return column
+
+
+class JournalReader:
+    """Zero-copy, read-only view of a journaled campaign at its watermark.
+
+    The reader loads the journal's ``meta.json`` (validating format and
+    space fingerprint) and the last committed ``checkpoint.json``, then
+    memory-maps each column file up to the checkpoint's row count — the
+    *watermark*.  Bytes past the watermark are never mapped, so a torn tail
+    from a crash, or appends a live writer has not checkpointed yet, are
+    invisible: a reader attached mid-run always observes exactly the
+    checkpointed prefix, bit-identical to the writer's in-memory history at
+    that point.  Nothing is rewritten, so N reader processes and one writer
+    coexist on the same directory without locking.
+
+    :meth:`history` returns a read-only
+    :class:`~repro.core.history.SearchHistory` whose metadata columns *are*
+    the mapped files (no copy, no parse); parameter columns decode lazily on
+    first access, so metric sweeps that only touch objectives/runtimes/
+    timestamps never pay for configuration decoding.
+
+    A journal whose checkpoint has not been written yet (created but never
+    committed) reads as empty.  Use :func:`open_journal_reader` for the
+    cached entry point.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        space: SearchSpace,
+        objective: Optional[Objective] = None,
+    ):
+        self.directory = Path(directory)
+        self.space = space
+        self.objective = objective
+        self.meta = CampaignJournal.read_meta(self.directory)
+        CampaignJournal.validate_meta(self.meta, space)
+        self.checkpoint = CampaignJournal.read_checkpoint(self.directory)
+        #: Committed-row watermark: rows past it are never mapped.
+        self.num_rows = 0 if self.checkpoint is None else int(self.checkpoint["num_rows"])
+        self.num_intervals = (
+            0 if self.checkpoint is None else int(self.checkpoint["num_intervals"])
+        )
+        self._codecs = [_ParamCodec(p) for p in space.parameters]
+        self._history: Optional[SearchHistory] = None
+        self._intervals: Optional[List[Tuple[float, float]]] = None
+        self._raw_params: Dict[int, np.ndarray] = {}
+        self._closed = False
+
+    # ---------------------------------------------------------------- mapping
+    def _map_column(self, name: str, dtype: str, count: int) -> np.ndarray:
+        """Memory-map the first ``count`` elements of one column file."""
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        path = self.directory / name
+        needed = count * np.dtype(dtype).itemsize
+        try:
+            with open(path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size < needed:
+                    raise JournalError(
+                        f"journal data file {name} holds {size} bytes, "
+                        f"checkpoint requires {needed}"
+                    )
+                # Read-only shared mapping of just the committed prefix.  The
+                # descriptor closes immediately after (the mapping survives
+                # it), so a cached reader costs address space, not
+                # descriptors.  ``np.memmap`` would do the same but
+                # canonicalises the path on every call — a measurable cost
+                # when sweeping thousands of column files.
+                mapped = mmap.mmap(handle.fileno(), needed, access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            raise JournalError(
+                f"journal data file {name} holds -1 bytes, "
+                f"checkpoint requires {needed}"
+            ) from None
+        return np.frombuffer(mapped, dtype=np.dtype(dtype), count=count)
+
+    # ------------------------------------------------------------------ views
+    def history(self) -> SearchHistory:
+        """The checkpointed history prefix as a read-only zero-copy view.
+
+        The returned history is shared by every caller of the same reader
+        (it is immutable); ``history.copy()`` thaws it into an independent
+        mutable history when a caller needs to extend it.
+        """
+        if self._closed:
+            raise JournalError(f"journal reader for {self.directory} is closed")
+        if self._history is None:
+            n = self.num_rows
+            meta_columns = {
+                name: self._map_column(f"m_{name}.bin", dtype, n)
+                for name, dtype in _META_COLUMNS
+            }
+            loaders: Dict[str, Callable[[], np.ndarray]] = {
+                codec.name: (
+                    lambda i=i, codec=codec: _object_column(
+                        codec.decode(self._raw_param(i))
+                    )
+                )
+                for i, codec in enumerate(self._codecs)
+            }
+            element_loaders = {
+                codec.name: (
+                    lambda row, i=i, codec=codec: codec.decode_element(
+                        self._raw_param(i)[row]
+                    )
+                )
+                for i, codec in enumerate(self._codecs)
+            }
+            self._history = SearchHistory.from_columns(
+                self.space,
+                meta_columns,
+                loaders,
+                objective=self.objective,
+                param_element_loaders=element_loaders,
+            )
+        return self._history
+
+    def _raw_param(self, i: int) -> np.ndarray:
+        """The (cached) typed mapping of parameter column ``i``.
+
+        Shared by the full-column and per-element loaders so a ``best()``
+        followed by a full decode maps the file once.
+        """
+        column = self._raw_params.get(i)
+        if column is None:
+            codec = self._codecs[i]
+            column = self._raw_params[i] = self._map_column(
+                f"p{i}.bin", codec.dtype, self.num_rows
+            )
+        return column
+
+    def intervals(self) -> List[Tuple[float, float]]:
+        """The checkpointed ``(submitted, completed)`` busy intervals."""
+        if self._closed:
+            raise JournalError(f"journal reader for {self.directory} is closed")
+        if self._intervals is None:
+            pairs = self._map_column("intervals.bin", "<f8", self.num_intervals * 2)
+            flat = pairs.tolist()
+            self._intervals = list(zip(flat[0::2], flat[1::2]))
+        return list(self._intervals)
+
+    def close(self) -> None:
+        """Drop this reader's references to its mappings (idempotent).
+
+        Histories already handed out stay valid — they keep their own
+        references, and the pages unmap only when the last view dies; closing
+        just stops *this* reader from pinning them any longer.
+        """
+        self._history = None
+        self._intervals = None
+        self._raw_params = {}
+        self._closed = True
+
+    # ------------------------------------------------------------------- peek
+    @staticmethod
+    def peek(directory: Union[str, Path]) -> Dict:
+        """Cheap space-free status of a stored campaign (registry/monitoring).
+
+        Maps only the objective and runtime columns — no search space, no
+        parameter decoding, no optimizer replay — and returns a JSON-ready
+        summary: evaluation count, failure count, best runtime/objective and
+        the checkpoint's ``finished`` flag.  This is how the campaign
+        registry reports on studies that are journaled on disk but not live
+        in the process.
+        """
+        directory = Path(directory)
+        meta = CampaignJournal.read_meta(directory)
+        if meta.get("format") != FORMAT_VERSION:
+            raise JournalError(f"unsupported journal format {meta.get('format')!r}")
+        checkpoint = CampaignJournal.read_checkpoint(directory)
+        payload: Dict[str, Any] = {
+            "directory": str(directory),
+            "num_evaluations": 0,
+            "num_failures": 0,
+            "finished": False,
+            "best_runtime": None,
+            "best_objective": None,
+            "max_time": meta.get("max_time"),
+            "num_workers": meta.get("num_workers"),
+        }
+        if checkpoint is None:
+            return payload
+        n = int(checkpoint["num_rows"])
+        payload["num_evaluations"] = n
+        payload["finished"] = bool(checkpoint.get("finished", False))
+        if n:
+            reader = JournalReader.__new__(JournalReader)
+            reader.directory = directory
+            objectives = reader._map_column("m_objective.bin", "<f8", n)
+            finite = np.flatnonzero(np.isfinite(objectives))
+            payload["num_failures"] = n - int(finite.size)
+            if finite.size:
+                # First maximum, matching SearchHistory.best() tie-breaking.
+                best = int(finite[np.argmax(objectives[finite])])
+                runtimes = reader._map_column("m_runtime.bin", "<f8", n)
+                payload["best_objective"] = float(objectives[best])
+                payload["best_runtime"] = float(runtimes[best])
+        return payload
+
+
+# --------------------------------------------------------------- reader cache
+#: LRU reader cache: (resolved directory, checkpoint mtime_ns, checkpoint
+#: size) → [(space, objective, reader), ...] in least-recently-used order
+#: (oldest first).  A writer's new checkpoint changes the key, so a cached
+#: reader is never stale; the short value list guards against the same
+#: journal being read against different spaces/objectives.
+_READER_CACHE: "OrderedDict[Tuple[str, int, int], List[Tuple[SearchSpace, Objective, JournalReader]]]" = OrderedDict()
+
+#: Cache bound: beyond this many distinct checkpoints the least-recently-used
+#: readers are dropped, so a sweep over thousands of journaled campaigns
+#: keeps a bounded number of live mappings instead of one per campaign ever
+#: touched.
+_READER_CACHE_MAX = 128
+
+
+def clear_journal_cache() -> None:
+    """Drop (and close) every cached journal reader."""
+    for entries in _READER_CACHE.values():
+        for _, _, reader in entries:
+            reader.close()
+    _READER_CACHE.clear()
+
+
+def set_journal_cache_limit(max_readers: int) -> int:
+    """Set the journal reader cache bound; returns the previous bound.
+
+    Mirrors :func:`repro.analysis.csvio.set_history_cache_limit`: shrinking
+    evicts least-recently-used readers immediately, ``0`` disables caching
+    (every open maps afresh).
+    """
+    global _READER_CACHE_MAX
+    if max_readers < 0:
+        raise ValueError("max_readers must be >= 0")
+    previous = _READER_CACHE_MAX
+    _READER_CACHE_MAX = int(max_readers)
+    _evict_reader_cache()
+    return previous
+
+
+def _evict_reader_cache() -> None:
+    while len(_READER_CACHE) > _READER_CACHE_MAX:
+        _, entries = _READER_CACHE.popitem(last=False)
+        for _, _, reader in entries:
+            reader.close()
+
+
+def open_journal_reader(
+    directory: Union[str, Path],
+    space: SearchSpace,
+    objective: Optional[Objective] = None,
+) -> JournalReader:
+    """Open a :class:`JournalReader` through the LRU-bounded cache.
+
+    The cache key is the checkpoint record's ``(path, mtime, size)``
+    identity: re-opening an unchanged campaign returns the already-mapped
+    reader (and its shared zero-copy history) instantly, while a journal
+    whose writer committed a new checkpoint gets a fresh reader at the new
+    watermark — the stale entry for the same directory is dropped.  Hits
+    refresh LRU order, so bulk sweeps evict the campaigns they are done
+    with, not the ones they are about to revisit.
+    """
+    directory = Path(directory)
+    checkpoint_path = directory / CHECKPOINT_NAME
+    if _READER_CACHE_MAX == 0 or not checkpoint_path.exists():
+        return JournalReader(directory, space, objective=objective)
+    stat = checkpoint_path.stat()
+    resolved = str(directory.resolve())
+    key = (resolved, stat.st_mtime_ns, stat.st_size)
+    wanted = objective or Objective()
+    entries = _READER_CACHE.get(key)
+    if entries is None:
+        for stale in [k for k in _READER_CACHE if k[0] == resolved]:
+            for _, _, reader in _READER_CACHE.pop(stale):
+                reader.close()
+        entries = _READER_CACHE[key] = []
+    else:
+        _READER_CACHE.move_to_end(key)
+    for cached_space, cached_objective, reader in entries:
+        if cached_space == space and cached_objective == wanted:
+            return reader
+    reader = JournalReader(directory, space, objective=wanted)
+    entries.append((space, wanted, reader))
+    _evict_reader_cache()
+    return reader

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.journal import CampaignJournal
+from repro.core.journal import CampaignJournal, JournalReader
 from repro.core.search import CampaignExecution, CBOSearch
 from repro.core.space import Configuration
 from repro.service.runner import CampaignSpec, ElasticCampaignRunner
@@ -346,6 +346,83 @@ class CampaignRegistry:
                 r.name
                 for r in self._studies.values()
                 if now - r.last_seen > max_age
+            ]
+
+    # ------------------------------------------------------------ stored view
+    def stored_study_names(self) -> List[str]:
+        """Names of every study journaled under the registry root (sorted).
+
+        Includes studies no live record exists for — crashed, evicted, or
+        created by an earlier process; any of them re-attach bit-identically
+        through :meth:`create_study`.  Empty without a root.
+        """
+        if self.root is None or not self.root.is_dir():
+            return []
+        return sorted(
+            child.name
+            for child in self.root.iterdir()
+            if child.is_dir() and CampaignJournal.exists(child)
+        )
+
+    def peek(self, name: str) -> Dict:
+        """Status of a study without loading it — live or stored.
+
+        Live studies return their full :meth:`status`.  Studies that only
+        exist on disk are summarised through the journal's memory-mapped
+        reader (:meth:`repro.core.journal.JournalReader.peek`): evaluation
+        count, best runtime and the finished flag come straight off the
+        mapped objective/runtime columns, with no search construction and no
+        optimizer replay — cheap enough to sweep thousands of stored studies.
+        """
+        with self._lock:
+            if name in self._studies:
+                payload = self._status(self._studies[name])
+                payload["live"] = True
+                return payload
+            journal_dir = self._journal_dir(name)
+            if journal_dir is None or not CampaignJournal.exists(journal_dir):
+                raise UnknownStudyError(f"no study named {name!r}")
+            payload = JournalReader.peek(journal_dir)
+            payload.update({"name": name, "live": False, "started": False})
+            return payload
+
+    def evict(self, name: str) -> bool:
+        """Drop a journaled ask/tell study from memory (it stays on disk).
+
+        A final forced checkpoint commits everything reported so far, the
+        journal's append handles close, and the record is forgotten; the
+        next :meth:`create_study` under the same name resumes from the
+        journal bit-identically (an unreported suggested batch is
+        re-generated deterministically, matching the idempotent-suggest
+        contract).  Returns False — and evicts nothing — for managed
+        studies (the runner owns them) and for studies without a journal
+        (eviction would lose their state).
+        """
+        with self._lock:
+            record = self.get(name)
+            journal_dir = self._journal_dir(name)
+            if record.mode != "ask_tell" or journal_dir is None:
+                return False
+            execution = record.execution
+            if execution is not None:
+                execution.maybe_checkpoint(force=True)
+                if execution._journal is not None:
+                    execution._journal.close()
+            del self._studies[name]
+            return True
+
+    def evict_stale(self, max_age: float) -> List[str]:
+        """Evict every journaled ask/tell study idle for ``max_age`` seconds.
+
+        The service-scale companion of :meth:`stale_studies`: thousands of
+        abandoned studies stop holding optimizer state and file handles in
+        memory, while :meth:`peek` keeps them observable and
+        :meth:`create_study` re-attaches any of them on demand.  Returns the
+        evicted names.
+        """
+        with self._lock:
+            return [
+                name for name in self.stale_studies(max_age) if self.evict(name)
             ]
 
     def _status(self, record: StudyRecord) -> Dict:

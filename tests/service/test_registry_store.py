@@ -1,0 +1,122 @@
+"""Registry over stored journals: stored_study_names, peek, evict.
+
+A long-lived registry accumulates journaled studies on disk; only some are
+live in memory at any moment.  These tests pin the stored view: names of
+journaled-but-not-live studies are enumerable, ``peek`` reports them through
+the memory-mapped reader without constructing a search, ``evict`` drops an
+idle study's in-memory state while keeping it resumable bit-identically, and
+``evict_stale`` sweeps every idle journaled study at once.
+"""
+
+import pytest
+
+from fixtures import make_service_search
+from repro.service import CampaignRegistry, UnknownStudyError
+
+TEMPLATES = {"service": lambda seed=0, **params: make_service_search(seed, **params)}
+BUDGET = dict(max_time=600.0, max_evaluations=12)
+
+
+def make_registry(**kwargs):
+    return CampaignRegistry(TEMPLATES, **kwargs)
+
+
+def drive(registry, name, rounds=2):
+    """Run a few suggest/report rounds against a study."""
+    for _ in range(rounds):
+        batch = registry.suggest(name)
+        if batch is None:
+            break
+        registry.report(name, [25.0 + i for i in range(len(batch))])
+
+
+class TestStoredStudyNames:
+    def test_empty_without_root(self):
+        assert make_registry().stored_study_names() == []
+
+    def test_lists_journaled_studies_even_after_restart(self, tmp_path):
+        first = make_registry(root=tmp_path)
+        first.create_study("tune-a", **BUDGET)
+        first.create_study("tune-b", **BUDGET)
+        drive(first, "tune-a")
+        drive(first, "tune-b")
+        # A second registry process sees the stored studies without creating
+        # any of them.
+        second = make_registry(root=tmp_path)
+        assert second.stored_study_names() == ["tune-a", "tune-b"]
+
+
+class TestPeek:
+    def test_live_study_peeks_as_status(self, tmp_path):
+        registry = make_registry(root=tmp_path)
+        registry.create_study("tune-1", **BUDGET)
+        drive(registry, "tune-1")
+        peeked = registry.peek("tune-1")
+        assert peeked["live"] is True
+        assert peeked["name"] == "tune-1"
+        assert peeked["num_evaluations"] > 0
+
+    def test_stored_study_peeks_off_the_journal(self, tmp_path):
+        first = make_registry(root=tmp_path)
+        first.create_study("tune-1", **BUDGET)
+        drive(first, "tune-1")
+        expected = first.status("tune-1")["num_evaluations"]
+        second = make_registry(root=tmp_path)
+        peeked = second.peek("tune-1")
+        assert peeked["live"] is False
+        assert peeked["started"] is False
+        assert peeked["name"] == "tune-1"
+        assert peeked["num_evaluations"] == expected
+        assert peeked["best_runtime"] is not None
+
+    def test_unknown_study_raises(self, tmp_path):
+        registry = make_registry(root=tmp_path)
+        with pytest.raises(UnknownStudyError):
+            registry.peek("nope")
+
+
+class TestEvict:
+    def test_evict_then_reattach_is_bit_identical(self, tmp_path):
+        # Baseline: one uninterrupted study.
+        baseline = make_registry(root=tmp_path / "a")
+        baseline.create_study("tune-1", **BUDGET)
+        for _ in range(4):
+            drive(baseline, "tune-1", rounds=1)
+        # Same schedule, evicted from memory halfway through.
+        registry = make_registry(root=tmp_path / "b")
+        registry.create_study("tune-1", **BUDGET)
+        for _ in range(2):
+            drive(registry, "tune-1", rounds=1)
+        assert registry.evict("tune-1") is True
+        assert "tune-1" not in [s["name"] for s in registry.statuses()]
+        assert registry.stored_study_names() == ["tune-1"]
+        record, created = registry.create_study("tune-1", **BUDGET)
+        assert created is False and record.attached
+        for _ in range(2):
+            drive(registry, "tune-1", rounds=1)
+        a = baseline.status("tune-1")
+        b = registry.status("tune-1")
+        assert a["num_evaluations"] == b["num_evaluations"]
+        assert a["best_runtime"] == b["best_runtime"]
+
+    def test_evict_without_journal_refuses(self):
+        registry = make_registry()  # no root, nothing on disk
+        registry.create_study("tune-1", **BUDGET)
+        assert registry.evict("tune-1") is False
+        assert registry.status("tune-1")["name"] == "tune-1"
+
+    def test_evict_stale_sweeps_idle_studies(self, tmp_path):
+        now = {"t": 0.0}
+        registry = make_registry(root=tmp_path, clock=lambda: now["t"])
+        registry.create_study("old-1", **BUDGET)
+        registry.create_study("old-2", **BUDGET)
+        drive(registry, "old-1")
+        drive(registry, "old-2")
+        now["t"] = 1000.0
+        registry.create_study("fresh", **BUDGET)
+        evicted = registry.evict_stale(max_age=500.0)
+        assert sorted(evicted) == ["old-1", "old-2"]
+        live = [s["name"] for s in registry.statuses()]
+        assert live == ["fresh"]
+        # The evicted studies are still on disk and peekable.
+        assert registry.peek("old-1")["live"] is False
