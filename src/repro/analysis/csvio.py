@@ -42,6 +42,7 @@ subdirectories all take the memory-mapped path; everything else parses CSV.
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -74,10 +75,17 @@ _HISTORY_CACHE: "OrderedDict[Tuple[str, int, int], List[Tuple[SearchSpace, Objec
 #: ever loaded for the life of the process.
 _HISTORY_CACHE_MAX_FILES = 256
 
+#: Guards every mutation of ``_HISTORY_CACHE``.  Re-entrant because eviction
+#: runs inside ``_load_history_cached`` which already holds it.  Without it,
+#: concurrent loads (parallel shard stepping, threaded analysis sweeps) can
+#: corrupt the ``OrderedDict`` mid-reorder.
+_HISTORY_CACHE_LOCK = threading.RLock()
+
 
 def clear_history_cache() -> None:
     """Drop every cached parsed history (tests, or bulk directory rewrites)."""
-    _HISTORY_CACHE.clear()
+    with _HISTORY_CACHE_LOCK:
+        _HISTORY_CACHE.clear()
 
 
 def set_history_cache_limit(max_files: int) -> int:
@@ -89,46 +97,52 @@ def set_history_cache_limit(max_files: int) -> int:
     global _HISTORY_CACHE_MAX_FILES
     if max_files < 0:
         raise ValueError("max_files must be >= 0")
-    previous = _HISTORY_CACHE_MAX_FILES
-    _HISTORY_CACHE_MAX_FILES = int(max_files)
-    _evict_history_cache()
+    with _HISTORY_CACHE_LOCK:
+        previous = _HISTORY_CACHE_MAX_FILES
+        _HISTORY_CACHE_MAX_FILES = int(max_files)
+        _evict_history_cache()
     return previous
 
 
 def _evict_history_cache() -> None:
-    while len(_HISTORY_CACHE) > _HISTORY_CACHE_MAX_FILES:
-        _HISTORY_CACHE.popitem(last=False)
+    with _HISTORY_CACHE_LOCK:
+        while len(_HISTORY_CACHE) > _HISTORY_CACHE_MAX_FILES:
+            _HISTORY_CACHE.popitem(last=False)
 
 
 def _load_history_cached(
     path: Path, space: SearchSpace, objective: Optional[Objective] = None
 ) -> SearchHistory:
-    """Load one history CSV through the parsed-column cache.
+    """Load one history CSV through the parsed-column cache (thread-safe).
 
     Returns an independent copy of the cached parse, so callers can extend
     the history without corrupting later loads.  Hits move the entry to the
     most-recently-used end, so eviction order follows *use*, not insertion.
+    The whole lookup/parse/insert is one critical section: parsing outside
+    the lock would let two threads parse the same file concurrently — the
+    exact work the cache exists to save.
     """
     stat = path.stat()
     resolved = str(path.resolve())
     key = (resolved, stat.st_mtime_ns, stat.st_size)
     wanted = objective or Objective()
-    entries = _HISTORY_CACHE.get(key)
-    if entries is None:
-        # A rewritten file invalidates its old entry; drop it so the cache
-        # does not accumulate one stale parse per overwrite.
-        for stale in [k for k in _HISTORY_CACHE if k[0] == resolved]:
-            del _HISTORY_CACHE[stale]
-        entries = _HISTORY_CACHE[key] = []
-    else:
-        _HISTORY_CACHE.move_to_end(key)
-    for cached_space, cached_objective, history in entries:
-        if cached_space == space and cached_objective == wanted:
-            return history.copy()
-    history = SearchHistory.from_csv(path, space, objective=objective)
-    entries.append((space, wanted, history))
-    _evict_history_cache()
-    return history.copy()
+    with _HISTORY_CACHE_LOCK:
+        entries = _HISTORY_CACHE.get(key)
+        if entries is None:
+            # A rewritten file invalidates its old entry; drop it so the cache
+            # does not accumulate one stale parse per overwrite.
+            for stale in [k for k in _HISTORY_CACHE if k[0] == resolved]:
+                del _HISTORY_CACHE[stale]
+            entries = _HISTORY_CACHE[key] = []
+        else:
+            _HISTORY_CACHE.move_to_end(key)
+        for cached_space, cached_objective, history in entries:
+            if cached_space == space and cached_objective == wanted:
+                return history.copy()
+        history = SearchHistory.from_csv(path, space, objective=objective)
+        entries.append((space, wanted, history))
+        _evict_history_cache()
+        return history.copy()
 
 
 def save_campaign(

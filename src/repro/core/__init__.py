@@ -42,7 +42,11 @@ from repro.core.priors import (
 )
 from repro.core.objective import Objective, runtime_objective
 from repro.core.history import Evaluation, SearchHistory
-from repro.core.optimizer import BayesianOptimizer, make_surrogate
+from repro.core.optimizer import (
+    BayesianOptimizer,
+    CandidateScoringError,
+    make_surrogate,
+)
 from repro.core.evaluator import AsyncVirtualEvaluator, WorkerState
 from repro.core.overhead import AnalyticOverheadModel, MeasuredOverheadModel
 from repro.core.search import CBOSearch, SearchResult, VAEABOSearch
@@ -52,6 +56,7 @@ __all__ = [
     "AnalyticOverheadModel",
     "AsyncVirtualEvaluator",
     "BayesianOptimizer",
+    "CandidateScoringError",
     "CategoricalParameter",
     "CategoricalPrior",
     "CBOSearch",

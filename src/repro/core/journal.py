@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import mmap
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -570,6 +571,12 @@ class JournalReader:
         self._intervals: Optional[List[Tuple[float, float]]] = None
         self._raw_params: Dict[int, np.ndarray] = {}
         self._closed = False
+        #: Reference count: the creator holds one reference; :meth:`retain`
+        #: adds holders, :meth:`close` releases them.  The reader really
+        #: closes only when the last holder releases, which makes cache
+        #: eviction safe while another thread still uses the reader.
+        self._refs = 1
+        self._refs_lock = threading.Lock()
 
     # ---------------------------------------------------------------- mapping
     def _map_column(self, name: str, dtype: str, count: int) -> np.ndarray:
@@ -665,17 +672,41 @@ class JournalReader:
             self._intervals = list(zip(flat[0::2], flat[1::2]))
         return list(self._intervals)
 
-    def close(self) -> None:
-        """Drop this reader's references to its mappings (idempotent).
+    def retain(self) -> "JournalReader":
+        """Register an additional holder of this reader (thread-safe).
 
-        Histories already handed out stay valid — they keep their own
-        references, and the pages unmap only when the last view dies; closing
-        just stops *this* reader from pinning them any longer.
+        Every ``retain()`` must be balanced by a :meth:`close`; the reader
+        only really closes on the last release.  Used by
+        :func:`open_journal_reader` callers that keep a cached reader beyond
+        the current call, so a concurrent cache eviction (which releases the
+        cache's own reference) cannot close the mappings under them.
         """
+        with self._refs_lock:
+            if self._closed:
+                raise JournalError(
+                    f"journal reader for {self.directory} is closed"
+                )
+            self._refs += 1
+        return self
+
+    def close(self) -> None:
+        """Release one reference; the last release drops the mappings.
+
+        Idempotent once closed.  Histories already handed out stay valid —
+        they keep their own references, and the pages unmap only when the
+        last view dies; closing just stops *this* reader from pinning them
+        any longer.
+        """
+        with self._refs_lock:
+            if self._closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._closed = True
         self._history = None
         self._intervals = None
         self._raw_params = {}
-        self._closed = True
 
     # ------------------------------------------------------------------- peek
     @staticmethod
@@ -738,13 +769,19 @@ _READER_CACHE: "OrderedDict[Tuple[str, int, int], List[Tuple[SearchSpace, Object
 #: touched.
 _READER_CACHE_MAX = 128
 
+#: Guards every mutation of ``_READER_CACHE`` (lookup + insert + LRU
+#: reordering + eviction are one critical section).  Re-entrant because
+#: eviction runs inside ``open_journal_reader`` which already holds it.
+_READER_CACHE_LOCK = threading.RLock()
+
 
 def clear_journal_cache() -> None:
-    """Drop (and close) every cached journal reader."""
-    for entries in _READER_CACHE.values():
-        for _, _, reader in entries:
-            reader.close()
-    _READER_CACHE.clear()
+    """Drop (and close) every cached journal reader (thread-safe)."""
+    with _READER_CACHE_LOCK:
+        for entries in _READER_CACHE.values():
+            for _, _, reader in entries:
+                reader.close()
+        _READER_CACHE.clear()
 
 
 def set_journal_cache_limit(max_readers: int) -> int:
@@ -757,23 +794,26 @@ def set_journal_cache_limit(max_readers: int) -> int:
     global _READER_CACHE_MAX
     if max_readers < 0:
         raise ValueError("max_readers must be >= 0")
-    previous = _READER_CACHE_MAX
-    _READER_CACHE_MAX = int(max_readers)
-    _evict_reader_cache()
+    with _READER_CACHE_LOCK:
+        previous = _READER_CACHE_MAX
+        _READER_CACHE_MAX = int(max_readers)
+        _evict_reader_cache()
     return previous
 
 
 def _evict_reader_cache() -> None:
-    while len(_READER_CACHE) > _READER_CACHE_MAX:
-        _, entries = _READER_CACHE.popitem(last=False)
-        for _, _, reader in entries:
-            reader.close()
+    with _READER_CACHE_LOCK:
+        while len(_READER_CACHE) > _READER_CACHE_MAX:
+            _, entries = _READER_CACHE.popitem(last=False)
+            for _, _, reader in entries:
+                reader.close()
 
 
 def open_journal_reader(
     directory: Union[str, Path],
     space: SearchSpace,
     objective: Optional[Objective] = None,
+    retain: bool = False,
 ) -> JournalReader:
     """Open a :class:`JournalReader` through the LRU-bounded cache.
 
@@ -784,6 +824,14 @@ def open_journal_reader(
     watermark — the stale entry for the same directory is dropped.  Hits
     refresh LRU order, so bulk sweeps evict the campaigns they are done
     with, not the ones they are about to revisit.
+
+    Thread-safe: lookup, insertion and eviction run under one lock, and
+    eviction only *releases* the cache's reference — it cannot close a
+    reader out from under a holder that called :meth:`JournalReader.retain`.
+    With ``retain=True`` the returned reader carries an extra reference owned
+    by the caller, who must balance it with ``close()``; the default returns
+    a borrowed reference valid until the entry is evicted (histories already
+    obtained stay valid either way).
     """
     directory = Path(directory)
     checkpoint_path = directory / CHECKPOINT_NAME
@@ -793,18 +841,19 @@ def open_journal_reader(
     resolved = str(directory.resolve())
     key = (resolved, stat.st_mtime_ns, stat.st_size)
     wanted = objective or Objective()
-    entries = _READER_CACHE.get(key)
-    if entries is None:
-        for stale in [k for k in _READER_CACHE if k[0] == resolved]:
-            for _, _, reader in _READER_CACHE.pop(stale):
-                reader.close()
-        entries = _READER_CACHE[key] = []
-    else:
-        _READER_CACHE.move_to_end(key)
-    for cached_space, cached_objective, reader in entries:
-        if cached_space == space and cached_objective == wanted:
-            return reader
-    reader = JournalReader(directory, space, objective=wanted)
-    entries.append((space, wanted, reader))
-    _evict_reader_cache()
-    return reader
+    with _READER_CACHE_LOCK:
+        entries = _READER_CACHE.get(key)
+        if entries is None:
+            for stale in [k for k in _READER_CACHE if k[0] == resolved]:
+                for _, _, reader in _READER_CACHE.pop(stale):
+                    reader.close()
+            entries = _READER_CACHE[key] = []
+        else:
+            _READER_CACHE.move_to_end(key)
+        for cached_space, cached_objective, reader in entries:
+            if cached_space == space and cached_objective == wanted:
+                return reader.retain() if retain else reader
+        reader = JournalReader(directory, space, objective=wanted)
+        entries.append((space, wanted, reader))
+        _evict_reader_cache()
+        return reader.retain() if retain else reader

@@ -59,7 +59,43 @@ from repro.core.surrogate import (
     Surrogate,
 )
 
-__all__ = ["BayesianOptimizer", "PreparedAsk", "make_surrogate", "prepare_ask_fleet"]
+__all__ = [
+    "BayesianOptimizer",
+    "CandidateScoringError",
+    "PreparedAsk",
+    "make_surrogate",
+    "prepare_ask_fleet",
+]
+
+
+class CandidateScoringError(RuntimeError):
+    """A candidate-pool ``predict`` failed inside the sharded scoring path.
+
+    Raised by :meth:`BayesianOptimizer._predict_candidates` in place of the
+    bare surrogate exception, which would otherwise surface mid-concatenation
+    with no indication of *which* shard (or, when ``score_executor`` maps the
+    shards on a thread pool, which task) failed.  The message carries the
+    shard index, shard count, shard shape and surrogate type so the runner's
+    quarantine path can record an actionable error against the owning
+    campaign instead of killing the whole tick.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        num_shards: int,
+        rows: int,
+        surrogate: str,
+        cause: BaseException,
+    ):
+        super().__init__(
+            f"candidate scoring failed on shard {shard_index + 1}/{num_shards} "
+            f"({rows} rows, {surrogate}): {cause!r}"
+        )
+        self.shard_index = int(shard_index)
+        self.num_shards = int(num_shards)
+        self.rows = int(rows)
+        self.surrogate = surrogate
 
 
 @dataclass
@@ -433,12 +469,43 @@ class BayesianOptimizer:
             return self.surrogate.predict(encoded)
         chunks = np.array_split(encoded, shards)
         if self.score_executor is not None:
-            parts = list(self.score_executor.map(self.surrogate.predict, chunks))
+            parts = list(
+                self.score_executor.map(
+                    self._predict_shard, range(shards), [shards] * shards, chunks
+                )
+            )
         else:
-            parts = [self.surrogate.predict(chunk) for chunk in chunks]
+            parts = [
+                self._predict_shard(index, shards, chunk)
+                for index, chunk in enumerate(chunks)
+            ]
         mean = np.concatenate([p[0] for p in parts])
         std = np.concatenate([p[1] for p in parts])
         return mean, std
+
+    def _predict_shard(
+        self, index: int, num_shards: int, chunk: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One shard's ``predict``, with failures wrapped in shard context.
+
+        A bare exception escaping ``score_executor.map`` loses which shard
+        died; :class:`CandidateScoringError` keeps the shard index/shape and
+        surrogate type attached (and propagates unchanged through the
+        executor), so the runner's quarantine path records the failure
+        against the owning campaign with enough context to reproduce it.
+        """
+        try:
+            return self.surrogate.predict(chunk)
+        except CandidateScoringError:
+            raise
+        except Exception as error:
+            raise CandidateScoringError(
+                shard_index=index,
+                num_shards=num_shards,
+                rows=int(chunk.shape[0]),
+                surrogate=type(self.surrogate).__name__,
+                cause=error,
+            ) from error
 
     def finish_ask(
         self,

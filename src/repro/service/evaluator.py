@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -141,6 +142,14 @@ class SharedWorkerPool:
         self.num_retried = 0
         self.num_exhausted = 0
         self.clients: List["ServiceEvaluator"] = []
+        #: Guards the queue, the running list, the retry heap, the clock and
+        #: the per-tenant slot accounting.  Re-entrant: ``process_until``
+        #: holds it while calling ``_drain_queue``/``_start``, and a client's
+        #: ``wait_any`` holds it across the advance-then-collect sequence so
+        #: parallel shard stepping can drive several clients of one pool
+        #: concurrently.  Event order stays deterministic because virtual
+        #: time, not thread arrival, orders the events each holder fires.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------ state
     def idle_workers(self) -> List[WorkerState]:
@@ -169,20 +178,23 @@ class SharedWorkerPool:
 
     def next_completion_time(self) -> float:
         """Completion time of the earliest running evaluation (inf if none)."""
-        if not self._running:
-            return float("inf")
-        return min(p.completes_at for p, _, _ in self._running)
+        with self.lock:
+            if not self._running:
+                return float("inf")
+            return min(p.completes_at for p, _, _ in self._running)
 
     def next_event_time(self) -> float:
         """Time of the pool's next event: a completion or a retry release."""
-        next_retry = self._delayed[0][0] if self._delayed else float("inf")
-        return min(self.next_completion_time(), next_retry)
+        with self.lock:
+            next_retry = self._delayed[0][0] if self._delayed else float("inf")
+            return min(self.next_completion_time(), next_retry)
 
     def advance_to(self, time: float) -> None:
         """Move the shared clock forward (never backwards)."""
-        if time < self.now:
-            raise ValueError(f"cannot move time backwards ({time} < {self.now})")
-        self.now = time
+        with self.lock:
+            if time < self.now:
+                raise ValueError(f"cannot move time backwards ({time} < {self.now})")
+            self.now = time
 
     # ------------------------------------------------------------- scheduling
     def evaluator_factory(self, tenant: str = "default") -> Callable:
@@ -274,19 +286,25 @@ class SharedWorkerPool:
         return pending
 
     def submit(self, client: "ServiceEvaluator", configurations, runtimes=None) -> int:
-        """Accept requests from ``client``: start on idle workers, queue the rest."""
+        """Accept requests from ``client``: start on idle workers, queue the rest.
+
+        Thread-safe: the idle-worker scan, the starts and the queue appends
+        are one critical section, so concurrent submitters cannot start two
+        evaluations on one worker or interleave their queue entries.
+        """
         if runtimes is not None and len(runtimes) != len(configurations):
             raise ValueError("runtimes and configurations must have equal length")
-        accepted = 0
-        idle = deque(self.idle_workers())
-        for i, config in enumerate(configurations):
-            runtime = None if runtimes is None else runtimes[i]
-            if idle and self._tenant_admissible(client):
-                self._start(client, config, self.now, idle.popleft(), runtime)
-            else:
-                self._queue.append((client, dict(config), runtime, 0))
-            accepted += 1
-        return accepted
+        with self.lock:
+            accepted = 0
+            idle = deque(self.idle_workers())
+            for i, config in enumerate(configurations):
+                runtime = None if runtimes is None else runtimes[i]
+                if idle and self._tenant_admissible(client):
+                    self._start(client, config, self.now, idle.popleft(), runtime)
+                else:
+                    self._queue.append((client, dict(config), runtime, 0))
+                accepted += 1
+            return accepted
 
     def _handle_loss(self, pending: PendingEvaluation, owner: "ServiceEvaluator") -> None:
         """Retry (with backoff) or give up on an evaluation lost to a fault."""
@@ -335,6 +353,10 @@ class SharedWorkerPool:
         delivers no result: the worker is freed (or dies) and the loss is
         handed to the retry policy.
         """
+        with self.lock:
+            self._process_until_locked(horizon)
+
+    def _process_until_locked(self, horizon: float) -> None:
         while True:
             next_retry = self._delayed[0][0] if self._delayed else float("inf")
             pos = None
@@ -421,7 +443,9 @@ class SharedWorkerPool:
         if horizon <= 0:
             return 0.0
         total_busy = 0.0
-        for worker in self.workers:
+        with self.lock:
+            workers = list(self.workers)
+        for worker in workers:
             over = max(0.0, worker.busy_until - horizon)
             if not math.isfinite(over):
                 # A hung evaluation (infinite busy_until) contributes nothing
@@ -443,6 +467,10 @@ class SharedWorkerPool:
                 "state snapshots require a private (single-client) pool; "
                 f"this pool has {len(self.clients)} clients"
             )
+        with self.lock:
+            return self._state_dict_locked()
+
+    def _state_dict_locked(self) -> Dict:
         return {
             "now": self.now,
             "next_seq": self._next_seq,
@@ -501,6 +529,10 @@ class SharedWorkerPool:
                 f"snapshot has {len(state['workers'])} workers, "
                 f"pool has {self.num_workers}"
             )
+        with self.lock:
+            self._load_state_dict_locked(state, client)
+
+    def _load_state_dict_locked(self, state: Dict, client: "ServiceEvaluator") -> None:
         self.now = float(state["now"])
         self._next_seq = int(state["next_seq"])
         self._retry_order = int(state["retry_order"])
@@ -665,17 +697,20 @@ class ServiceEvaluator:
     @property
     def num_queued(self) -> int:
         """Number of this client's requests still waiting for a worker."""
-        return sum(1 for entry in self.pool._queue if entry[0] is self)
+        with self.pool.lock:
+            return sum(1 for entry in self.pool._queue if entry[0] is self)
 
     def pending_evaluations(self) -> Tuple[PendingEvaluation, ...]:
         """Snapshot of this client's running evaluations (submission order)."""
-        return tuple(self._own_running)
+        with self.pool.lock:
+            return tuple(self._own_running)
 
     def drain_started_intervals(self) -> List[Tuple[float, float]]:
         """``(submitted, completes_at)`` of this client's evaluations started
         since the last drain, in start order — includes requests that waited
         in the queue and started when a worker freed up."""
-        started, self._started_intervals = self._started_intervals, []
+        with self.pool.lock:
+            started, self._started_intervals = self._started_intervals, []
         return started
 
     def _duration(self, config: Configuration, runtime: float) -> float:
@@ -698,25 +733,30 @@ class ServiceEvaluator:
     # -------------------------------------------------------------- collection
     def next_completion_time(self) -> float:
         """Completion time of this client's earliest running evaluation."""
-        if not self._own_running:
-            return float("inf")
-        return min(p.completes_at for p in self._own_running)
+        with self.pool.lock:
+            if not self._own_running:
+                return float("inf")
+            return min(p.completes_at for p in self._own_running)
 
     def collect(self, until: Optional[float] = None) -> List[CompletedEvaluation]:
         """Collect this client's evaluations completed at or before ``until``.
 
         ``until`` defaults to the current shared time.  The returned list is
-        ordered by completion time.
+        ordered by completion time.  Runs under the pool lock: processing can
+        append to *other* clients' done lists (their completions fire while
+        the clock advances), so the read-filter-rewrite of ``self._done``
+        must be atomic with it.
         """
-        horizon = self.pool.now if until is None else until
-        self.pool.process_until(horizon)
-        ready = [c for c in self._done if c.completed <= horizon]
-        if not ready:
-            return []
-        self._done = [c for c in self._done if c.completed > horizon]
-        ready.sort(key=lambda c: c.completed)
-        self.num_collected += len(ready)
-        return ready
+        with self.pool.lock:
+            horizon = self.pool.now if until is None else until
+            self.pool.process_until(horizon)
+            ready = [c for c in self._done if c.completed <= horizon]
+            if not ready:
+                return []
+            self._done = [c for c in self._done if c.completed > horizon]
+            ready.sort(key=lambda c: c.completed)
+            self.num_collected += len(ready)
+            return ready
 
     def wait_any(self, max_time: float) -> Tuple[float, List[CompletedEvaluation]]:
         """Advance to this client's next completion (capped) and collect.
@@ -728,7 +768,16 @@ class ServiceEvaluator:
         has outstanding work but the pool has no future event that could ever
         deliver it (every pending evaluation hangs without a deadline, or
         queued work is starved because every worker died).
+
+        The whole advance-then-collect loop holds the pool lock: clients of
+        one pool stepped from parallel shards serialise here, and virtual
+        time (not thread arrival order) still decides which events fire.
         """
+        pool = self.pool
+        with pool.lock:
+            return self._wait_any_locked(max_time)
+
+    def _wait_any_locked(self, max_time: float) -> Tuple[float, List[CompletedEvaluation]]:
         pool = self.pool
         while True:
             if (

@@ -124,6 +124,54 @@ class TestParsedHistoryCache:
         assert len(before) > 1
 
 
+class TestCacheThreadSafety:
+    """Regression: the parse cache raced when parallel tick shards loaded
+    campaign CSVs concurrently — double parses corrupted the LRU order and
+    an eviction mid-``move_to_end`` raised ``KeyError`` from a reader."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_history_cache()
+        previous = csvio.set_history_cache_limit(4)
+        yield
+        csvio.set_history_cache_limit(previous)
+        clear_history_cache()
+
+    def test_threaded_loads_under_eviction_pressure(self, campaign, tmp_path):
+        import threading
+
+        directories = [
+            save_campaign(campaign, tmp_path / f"campaign{i}") for i in range(3)
+        ]
+        reference = [
+            [h.to_csv() for h in load_histories(d, toy_space())]
+            for d in directories
+        ]
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def hammer(worker):
+            try:
+                barrier.wait()
+                for round_ in range(20):
+                    index = (worker + round_) % 3
+                    histories = load_histories(directories[index], toy_space())
+                    assert [h.to_csv() for h in histories] == reference[index]
+                    if worker == 0 and round_ % 7 == 6:
+                        clear_history_cache()
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
 class TestCacheBoundIsLRU:
     """The parsed-history cache is bounded and evicts by recency of *use*."""
 

@@ -310,6 +310,109 @@ class TestReaderCache:
         assert len(_READER_CACHE) == 0
 
 
+class TestCacheThreadSafety:
+    """Regression: the reader cache raced under parallel tick stepping.
+
+    Before the cache lock, two threads opening the same directory could
+    both miss and insert (duplicating mmap handles), and an eviction could
+    close a reader *while another thread was using it* — the mmap views
+    died under the user's feet.  The lock serialises lookups and the
+    refcount makes eviction close-safe: a retained reader survives its
+    eviction until the holder releases it.
+    """
+
+    def test_concurrent_opens_share_one_reader(self, tmp_path):
+        import threading
+
+        space = make_service_space()
+        write_journal(tmp_path / "j", synth_history(space, 5))
+        readers = []
+        barrier = threading.Barrier(8)
+
+        def hit():
+            barrier.wait()
+            readers.append(open_journal_reader(tmp_path / "j", space))
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(r) for r in readers}) == 1
+        assert len(_READER_CACHE) == 1
+
+    def test_open_evict_clear_hammer_from_threads(self, tmp_path):
+        import threading
+
+        space = make_service_space()
+        for i in range(6):
+            write_journal(tmp_path / f"j{i}", synth_history(space, 4, seed=i))
+        set_journal_cache_limit(2)  # force constant eviction pressure
+        errors = []
+
+        def hammer(worker):
+            try:
+                for round_ in range(30):
+                    index = (worker + round_) % 6
+                    reader = open_journal_reader(
+                        tmp_path / f"j{index}", space, retain=True
+                    )
+                    try:
+                        # The retained reader must stay readable even if a
+                        # sibling thread's open just evicted it.
+                        assert reader.num_rows == 4
+                        assert len(reader.history()) == 4
+                    finally:
+                        reader.close()
+                    if worker == 0 and round_ % 10 == 9:
+                        clear_journal_cache()
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(_READER_CACHE) <= 2
+
+    def test_retained_reader_survives_eviction(self, tmp_path):
+        space = make_service_space()
+        write_journal(tmp_path / "j", synth_history(space, 3))
+        set_journal_cache_limit(1)
+        reader = open_journal_reader(tmp_path / "j", space, retain=True)
+        # Opening another directory evicts j's entry (limit 1) — which
+        # releases the cache's reference, not the caller's.
+        write_journal(tmp_path / "k", synth_history(space, 2))
+        open_journal_reader(tmp_path / "k", space)
+        assert all(key != str(tmp_path / "j") for key in list(_READER_CACHE))
+        assert len(reader.history()) == 3
+        reader.close()
+        with pytest.raises(JournalError, match="closed"):
+            reader.history()
+
+    def test_unretained_close_still_closes_for_real(self, tmp_path):
+        # The refcount must not weaken the direct-construction contract:
+        # a reader you build yourself closes on the first close() call.
+        space = make_service_space()
+        write_journal(tmp_path / "j", synth_history(space, 2))
+        reader = JournalReader(tmp_path / "j", space)
+        reader.close()
+        with pytest.raises(JournalError, match="closed"):
+            reader.history()
+
+    def test_retain_on_closed_reader_raises(self, tmp_path):
+        space = make_service_space()
+        write_journal(tmp_path / "j", synth_history(space, 2))
+        reader = JournalReader(tmp_path / "j", space)
+        reader.close()
+        with pytest.raises(JournalError, match="closed"):
+            reader.retain()
+
+
 class TestWriterResourceHandling:
     def test_attach_failure_leaks_no_handles(self, tmp_path):
         space = make_service_space()

@@ -133,8 +133,9 @@ class TestFleetAskProperties:
             CampaignSpec(search=make_generic_search(seed, space), **budget)
             for seed in range(n_campaigns)
         ]
-        batched_runner = CampaignRunner(specs_batched, batch_asks=True)
-        solo_runner = CampaignRunner(specs_solo, batch_asks=False)
+        # step_shards=1: the ask-fleet counters below assume global groups.
+        batched_runner = CampaignRunner(specs_batched, batch_asks=True, step_shards=1)
+        solo_runner = CampaignRunner(specs_solo, batch_asks=False, step_shards=1)
         batched = batched_runner.run()
         solo = solo_runner.run()
         for a, b in zip(solo, batched):
@@ -369,7 +370,8 @@ class TestFusedDedupEdgeCases:
                 ),
             ).run(**budget),
         ]
-        runner = CampaignRunner(specs, batch_asks=True)
+        # step_shards=1: the ask-fleet counters below assume global groups.
+        runner = CampaignRunner(specs, batch_asks=True, step_shards=1)
         batched = runner.run()
         for a, b in zip(solo, batched):
             assert_identical(a, b)

@@ -181,7 +181,8 @@ class TestBatchedAskService:
 
     def test_stale_studies_over_a_batched_managed_cohort(self):
         now = {"t": 0.0}
-        runner = ElasticCampaignRunner(batch_asks=True)
+        # step_shards=1: the ask-fleet counter below assumes global groups.
+        runner = ElasticCampaignRunner(batch_asks=True, step_shards=1)
         registry = make_registry(runner=runner, clock=lambda: now["t"])
         registry.create_study("a", mode="managed", **BUDGET)
         registry.create_study("b", mode="managed", seed=1, **BUDGET)

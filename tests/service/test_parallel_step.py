@@ -1,0 +1,311 @@
+"""Parallel tick stepping: the bit-identity contract under stress.
+
+The multi-core runner's acceptance property: for any ``step_workers``/
+``step_shards`` (threads), and for the whole-campaign process backend, every
+campaign's results, RNG stream and journal bytes are **bitwise identical**
+to the sequential runner — worker count may only change wall-clock time.
+The shard plan is a pure function of the active-set order and shard count,
+and shard results reduce in shard order, so nothing observable depends on
+thread timing.
+
+The suites here drive that contract through mixed RF/GP/refresh cohorts,
+injected faults under quarantine, shared-pool affinity, a Hypothesis sweep
+over shard counts, and the process backend's journal-reconstructed results.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from fixtures import (
+    assert_results_identical,
+    make_gp_search,
+    make_refresh_search,
+    make_service_search,
+    make_service_space,
+    service_run_function,
+)
+from repro.core.surrogate import RandomForestSurrogate
+from repro.core.search import CBOSearch
+from repro.service.evaluator import SharedWorkerPool
+from repro.service.runner import (
+    CampaignRunner,
+    CampaignSpec,
+    ElasticCampaignRunner,
+)
+
+BUDGET = dict(max_time=700.0, max_evaluations=26)
+
+
+def make_mixed_specs(n=6, space=None, budget=BUDGET, **spec_kwargs):
+    """An n-campaign cohort cycling through the RF/GP/refresh families."""
+    space = space if space is not None else make_service_space()
+    factories = (make_service_search, make_gp_search, make_refresh_search)
+    return [
+        CampaignSpec(
+            search=factories[i % 3](seed=100 + i, space=space),
+            label=f"c{i}",
+            **budget,
+            **spec_kwargs,
+        )
+        for i in range(n)
+    ]
+
+
+def rng_state(spec):
+    return spec.search.optimizer.rng.bit_generator.state
+
+
+def journal_bytes(directory):
+    """Every journal file's raw bytes, keyed by name (order-independent)."""
+    return {
+        path.name: path.read_bytes() for path in sorted(directory.iterdir())
+    }
+
+
+class TestThreadBackendBitIdentity:
+    @pytest.mark.parametrize("step_workers", [2, 4])
+    def test_mixed_cohort_matches_serial(self, step_workers):
+        serial_specs = make_mixed_specs()
+        serial = CampaignRunner(serial_specs, step_workers=1).run()
+        parallel_specs = make_mixed_specs()
+        parallel = CampaignRunner(
+            parallel_specs, step_workers=step_workers
+        ).run()
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+        # The RNG streams drained identically: same draws, same order.
+        for a, b in zip(serial_specs, parallel_specs):
+            assert rng_state(a) == rng_state(b)
+
+    def test_journals_are_byte_identical(self, tmp_path):
+        serial = CampaignRunner(
+            make_mixed_specs(n=3),
+            step_workers=1,
+        ).run()
+        specs = make_mixed_specs(n=3)
+        for i, spec in enumerate(specs):
+            spec.journal_dir = tmp_path / f"c{i}"
+        parallel = CampaignRunner(specs, step_workers=4).run()
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+        reference = CampaignRunner(
+            make_mixed_specs(n=3), step_workers=1
+        )
+        for i, spec in enumerate(reference.specs):
+            spec.journal_dir = tmp_path / f"ref{i}"
+        reference.run()
+        for i in range(3):
+            assert journal_bytes(tmp_path / f"c{i}") == journal_bytes(
+                tmp_path / f"ref{i}"
+            )
+
+    def test_shards_fewer_than_workers_and_vice_versa(self):
+        serial = CampaignRunner(make_mixed_specs(), step_workers=1).run()
+        # More shards than workers (queued shards) and more workers than
+        # shards (idle workers) are both just schedules of the same plan.
+        for workers, shards in [(2, 5), (4, 2), (3, 1)]:
+            parallel = CampaignRunner(
+                make_mixed_specs(), step_workers=workers, step_shards=shards
+            ).run()
+            for a, b in zip(serial, parallel):
+                assert_results_identical(a, b)
+
+    def test_shared_pool_campaigns_are_pinned_together(self):
+        # Campaigns sharing one SharedWorkerPool compete for workers on one
+        # clock; the shard plan must keep them in one shard so their event
+        # interleaving replays in arrival order.  Identity target: the same
+        # shared-pool cohort run serially.
+        def shared_specs():
+            pool = SharedWorkerPool(num_workers=8)
+            specs = [
+                CampaignSpec(
+                    search=make_service_search(
+                        seed=10 + i,
+                        evaluator_factory=pool.evaluator_factory(),
+                    ),
+                    label=f"s{i}",
+                    **BUDGET,
+                )
+                for i in range(4)
+            ]
+            # Two private-pool campaigns interleaved: only the shared four
+            # carry affinity.
+            specs.insert(1, CampaignSpec(search=make_service_search(seed=50), **BUDGET))
+            specs.append(CampaignSpec(search=make_gp_search(seed=51), **BUDGET))
+            return specs
+
+        # Constructed fresh per run: pools and searches are stateful.
+        serial = CampaignRunner(shared_specs(), step_workers=1).run()
+        parallel = CampaignRunner(
+            shared_specs(), step_workers=4, step_shards=4
+        ).run()
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+
+    def test_injected_faults_quarantine_identically(self):
+        def explode_after(limit):
+            calls = {"n": 0}
+
+            def run(config):
+                calls["n"] += 1
+                if calls["n"] > limit:
+                    raise RuntimeError("injected campaign failure")
+                return service_run_function(config)
+
+            return run
+
+        def specs():
+            out = make_mixed_specs(n=5)
+            doomed = CBOSearch(
+                make_service_space(),
+                explode_after(12),
+                num_workers=6,
+                surrogate=RandomForestSurrogate(n_estimators=6, seed=1),
+                num_candidates=48,
+                n_initial_points=5,
+                seed=1,
+            )
+            out[2] = CampaignSpec(search=doomed, label="doomed", **BUDGET)
+            return out
+
+        serial_runner = CampaignRunner(
+            specs(), step_workers=1, on_campaign_error="quarantine"
+        )
+        serial = serial_runner.run()
+        parallel_runner = CampaignRunner(
+            specs(), step_workers=4, on_campaign_error="quarantine"
+        )
+        parallel = parallel_runner.run()
+        assert [q.index for q in serial_runner.quarantined] == [2]
+        assert [q.index for q in parallel_runner.quarantined] == [2]
+        assert (
+            serial_runner.quarantined[0].phase
+            == parallel_runner.quarantined[0].phase
+        )
+        for index, (a, b) in enumerate(zip(serial, parallel)):
+            if index == 2:
+                # The partial result of the quarantined campaign must agree
+                # too: it failed at the same virtual moment in both runs.
+                assert len(a.history) == len(b.history)
+                continue
+            assert_results_identical(a, b)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        step_shards=st.integers(min_value=1, max_value=7),
+        n=st.integers(min_value=2, max_value=5),
+    )
+    def test_any_shard_count_is_bit_identical(self, step_shards, n):
+        budget = dict(max_time=500.0, max_evaluations=14)
+        serial = CampaignRunner(
+            make_mixed_specs(n=n, budget=budget), step_workers=1
+        ).run()
+        parallel = CampaignRunner(
+            make_mixed_specs(n=n, budget=budget),
+            step_workers=2,
+            step_shards=step_shards,
+        ).run()
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+
+
+class TestElasticParallelStep:
+    def test_elastic_parallel_matches_serial(self):
+        def run_with(step_workers):
+            runner = ElasticCampaignRunner(step_workers=step_workers)
+            for spec in make_mixed_specs():
+                runner.admit(spec)
+            return runner.run_until_complete()
+
+        for a, b in zip(run_with(1), run_with(4)):
+            assert_results_identical(a, b)
+
+    def test_elastic_rejects_process_backend(self):
+        with pytest.raises(ValueError, match="thread"):
+            ElasticCampaignRunner(step_backend="process")
+
+
+class TestProcessBackend:
+    def test_process_shards_match_serial(self, tmp_path):
+        serial = CampaignRunner(make_mixed_specs(n=4), step_workers=1).run()
+        specs = make_mixed_specs(n=4)
+        for i, spec in enumerate(specs):
+            spec.journal_dir = tmp_path / f"c{i}"
+        runner = CampaignRunner(specs, step_workers=2, step_backend="process")
+        results = runner.run()
+        for a, b in zip(serial, results):
+            assert_results_identical(a, b)
+        # results() serves the same process-run outcome after the fact.
+        for a, b in zip(results, runner.results()):
+            assert_results_identical(a, b)
+        assert runner.num_ticks > 0
+
+    def test_process_backend_requires_journals(self):
+        runner = CampaignRunner(
+            make_mixed_specs(n=2), step_workers=2, step_backend="process"
+        )
+        with pytest.raises(ValueError, match="journal"):
+            runner.run()
+
+    def test_single_worker_process_backend_runs_inline(self, tmp_path):
+        # step_workers=1 short-circuits to the in-process path even with the
+        # process backend selected — no fork for a serial run.
+        serial = CampaignRunner(make_mixed_specs(n=2), step_workers=1).run()
+        inline = CampaignRunner(
+            make_mixed_specs(n=2), step_workers=1, step_backend="process"
+        ).run()
+        for a, b in zip(serial, inline):
+            assert_results_identical(a, b)
+
+
+class TestScoringErrorContext:
+    """Regression: shard ``predict`` failures used to surface bare.
+
+    A candidate-scoring crash inside ``score_executor.map`` lost which
+    shard (and which campaign) died; the runner's quarantine path now
+    receives a :class:`~repro.core.optimizer.CandidateScoringError` that
+    carries the shard context, and records it against the owning campaign.
+    """
+
+    def test_runner_quarantines_scoring_failure_with_context(self):
+        from repro.core.optimizer import CandidateScoringError
+
+        class ExplodingSurrogate(RandomForestSurrogate):
+            def predict(self, X):
+                if self.fitted and X.shape[0] < 48:
+                    raise FloatingPointError("singular score sheet")
+                return super().predict(X)
+
+        doomed = CBOSearch(
+            make_service_space(),
+            service_run_function,
+            num_workers=6,
+            surrogate=ExplodingSurrogate(n_estimators=6, seed=1),
+            num_candidates=48,
+            n_initial_points=5,
+            score_shards=4,  # shards are 48/4 = 12 rows → explode
+            seed=1,
+        )
+        specs = [
+            CampaignSpec(search=make_service_search(seed=0), label="good", **BUDGET),
+            CampaignSpec(search=doomed, label="doomed", **BUDGET),
+        ]
+        runner = CampaignRunner(
+            specs, on_campaign_error="quarantine", batch_candidate_scoring=False
+        )
+        results = runner.run()
+        assert [q.label for q in runner.quarantined] == ["doomed"]
+        record = runner.quarantined[0]
+        assert record.phase == "ask"
+        assert isinstance(record.error, CandidateScoringError)
+        assert record.error.num_shards == 4
+        assert 0 <= record.error.shard_index < 4
+        assert 0 < record.error.rows < 48
+        assert record.error.surrogate == "ExplodingSurrogate"
+        assert "shard" in str(record.error)
+        # The healthy campaign is untouched.
+        assert results[0] is not None
+        assert math.isfinite(results[0].best_objective)

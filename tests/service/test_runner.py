@@ -49,6 +49,9 @@ class TestRunnerBitIdentity:
             specs,
             batch_surrogate_fits=batch_fits,
             batch_candidate_scoring=batch_scoring,
+            # Fusion counters below assume global groups: one shard per tick
+            # regardless of the REPRO_STEP_WORKERS matrix value.
+            step_shards=1,
         )
         batched = runner.run()
         assert len(batched) == 4
@@ -234,7 +237,8 @@ class TestTransferCampaignFleet:
                     max_evaluations=32,
                 )
                 for seed in range(3)
-            ]
+            ],
+            step_shards=1,  # the VAE-fleet counters assume global groups
         )
         batched = runner.run()
         for a, b in zip(sequential, batched):
@@ -445,6 +449,7 @@ class TestGPFleetRunnerIdentity:
             ],
             batch_gp_fits=batch_gp_fits,
             batch_candidate_scoring=batch_scoring,
+            step_shards=1,  # the GP-fleet counters assume global groups
         )
         batched = runner.run()
         for a, b in zip(sequential, batched):
@@ -478,7 +483,8 @@ class TestGPFleetRunnerIdentity:
             [
                 CampaignSpec(search=s, max_time=500.0, max_evaluations=18)
                 for s in searches()
-            ]
+            ],
+            step_shards=1,  # the fleet counters assume global groups
         )
         batched = runner.run()
         for a, b in zip(sequential, batched):
